@@ -1,0 +1,40 @@
+"""E2 — Figure 6: string-length distribution of the six ruleset sizes.
+
+The figure's claim is that every reduced ruleset keeps the character
+distribution of the full 6,275-string set (peak between 4 and 13 bytes);
+the benchmark regenerates the per-bucket histograms and checks the shape.
+"""
+
+from repro.analysis import format_histogram, format_table
+from repro.rulesets import FIGURE6_DISTRIBUTION, generate_paper_rulesets
+
+SIZES = (500, 634, 1204, 1603, 2588, 6275)
+
+
+def test_fig6_length_distribution(benchmark, write_result):
+    family = benchmark.pedantic(lambda: generate_paper_rulesets(seed=2010), rounds=1, iterations=1)
+
+    sections = []
+    rows = []
+    for size in SIZES:
+        ruleset = family[size]
+        histogram = ruleset.bucketed_histogram()
+        sections.append(format_histogram(histogram, title=f"Figure 6 — {size} strings"))
+        rows.append({"strings": size, "characters": ruleset.total_characters, **histogram})
+
+        # shape checks: the 5-9 and 10-14 buckets dominate, exactly as in the figure
+        peak_bucket = max(histogram, key=histogram.get)
+        assert peak_bucket in ("5-9", "10-14")
+        assert histogram["50+"] > 0
+        assert histogram["1-4"] <= histogram[peak_bucket]
+
+    # reduction preserves the distribution: bucket shares within 2 percentage
+    # points of the full ruleset's shares
+    full = family[6275].bucketed_histogram()
+    for size in SIZES[:-1]:
+        small = family[size].bucketed_histogram()
+        for bucket in full:
+            assert abs(small[bucket] / size - full[bucket] / 6275) < 0.02
+
+    text = format_table(rows, title="Figure 6 — strings per length bucket") + "\n\n" + "\n\n".join(sections)
+    write_result("fig6_string_distribution.txt", text)

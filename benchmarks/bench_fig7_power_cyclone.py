@@ -1,0 +1,47 @@
+"""E5 — Figure 7: power vs throughput on the Cyclone III implementation.
+
+The paper sweeps the accelerator clock and measures power for three ruleset
+sizes; the model regenerates the same series from the calibrated static +
+dynamic power model and the throughput law.
+"""
+
+import pytest
+
+from repro.analysis import PAPER_PEAK_POWER_WATTS, ascii_chart, format_table, power_curves
+from repro.fpga import CYCLONE_III, PowerModel
+
+SIZES = (500, 1204, 2588)
+
+
+def test_fig7_power_vs_throughput_cyclone(benchmark, write_result, paper_family, compiled_program):
+    blocks = {
+        f"{size} strings": compiled_program(size, CYCLONE_III).blocks_per_group for size in SIZES
+    }
+    curves = benchmark.pedantic(
+        lambda: power_curves(CYCLONE_III, blocks, num_points=12), rounds=3, iterations=1
+    )
+
+    sections = []
+    for curve in curves:
+        sections.append(
+            format_table(curve.points, title=f"Figure 7 — {curve.label} "
+                                             f"({curve.blocks_per_group} block(s) per group)")
+        )
+        sections.append(ascii_chart(curve.points, "power_watts", "throughput_gbps", label=curve.label))
+    write_result("fig7_power_cyclone3.txt", "\n\n".join(sections))
+
+    model = PowerModel(CYCLONE_III)
+    assert model.peak_power_watts() == pytest.approx(
+        PAPER_PEAK_POWER_WATTS["Cyclone III"], rel=0.05
+    )
+    # the figure's shape: all curves share the same power axis (same clock
+    # sweep), smaller rulesets reach higher throughput at the same power
+    tops = {curve.label: curve.points[-1] for curve in curves}
+    assert tops["500 strings"]["throughput_gbps"] >= tops["1204 strings"]["throughput_gbps"]
+    assert tops["1204 strings"]["throughput_gbps"] >= tops["2588 strings"]["throughput_gbps"]
+    powers = {point["power_watts"] for point in tops.values()}
+    assert max(powers) - min(powers) < 0.01
+    # power is monotonically increasing along every curve
+    for curve in curves:
+        watts = [point["power_watts"] for point in curve.points]
+        assert watts == sorted(watts)

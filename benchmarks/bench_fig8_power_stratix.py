@@ -1,0 +1,39 @@
+"""E6 — Figure 8: power vs throughput on the Stratix III implementation."""
+
+import pytest
+
+from repro.analysis import PAPER_PEAK_POWER_WATTS, ascii_chart, format_table, power_curves
+from repro.fpga import STRATIX_III, PowerModel
+
+SIZES = (634, 1603, 2588, 6275)
+
+
+def test_fig8_power_vs_throughput_stratix(benchmark, write_result, paper_family, compiled_program):
+    blocks = {
+        f"{size} strings": compiled_program(size, STRATIX_III).blocks_per_group for size in SIZES
+    }
+    curves = benchmark.pedantic(
+        lambda: power_curves(STRATIX_III, blocks, num_points=12), rounds=3, iterations=1
+    )
+
+    sections = []
+    for curve in curves:
+        sections.append(
+            format_table(curve.points, title=f"Figure 8 — {curve.label} "
+                                             f"({curve.blocks_per_group} block(s) per group)")
+        )
+        sections.append(ascii_chart(curve.points, "power_watts", "throughput_gbps", label=curve.label))
+    write_result("fig8_power_stratix3.txt", "\n\n".join(sections))
+
+    model = PowerModel(STRATIX_III)
+    assert model.peak_power_watts() == pytest.approx(
+        PAPER_PEAK_POWER_WATTS["Stratix III"], rel=0.05
+    )
+    tops = [curve.points[-1]["throughput_gbps"] for curve in curves]
+    # ordered by ruleset size: smaller rulesets sustain at least the
+    # throughput of larger ones at the peak clock
+    assert all(earlier >= later for earlier, later in zip(tops, tops[1:]))
+    # the 634-string configuration reaches the paper's 40+ Gbps headline
+    assert tops[0] > 40.0
+    # Stratix III burns more power than Cyclone III at its operating point
+    assert model.peak_power_watts() > PAPER_PEAK_POWER_WATTS["Cyclone III"]

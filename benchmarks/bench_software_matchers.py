@@ -1,0 +1,66 @@
+"""Software matching-speed comparison (context for the hardware design).
+
+Not a figure of the paper, but it grounds its motivation: a pure-software
+multi-pattern scan is orders of magnitude away from line rate, and the
+failure-function automaton's speed depends on the input, which is exactly
+what the guaranteed-rate hardware design removes.
+"""
+
+import pytest
+
+from repro.automata import AhoCorasickDFA, AhoCorasickNFA, WuManber
+from repro.core import DTPAutomaton
+from repro.traffic import TrafficGenerator, TrafficProfile
+
+PAYLOAD_BYTES = 40_000
+
+
+def _payload(ruleset, seed=5):
+    generator = TrafficGenerator(
+        ruleset, TrafficProfile(mean_payload_bytes=1400, attack_probability=0.3), seed=seed
+    )
+    data = bytearray()
+    while len(data) < PAYLOAD_BYTES:
+        data += generator.packet().payload
+    return bytes(data[:PAYLOAD_BYTES])
+
+
+@pytest.fixture(scope="module")
+def workload(paper_family):
+    ruleset = paper_family[500]
+    return ruleset, _payload(ruleset)
+
+
+def test_software_dfa_scan(benchmark, workload):
+    ruleset, payload = workload
+    dfa = AhoCorasickDFA.from_patterns(ruleset.patterns)
+    result = benchmark(dfa.match, payload)
+    assert isinstance(result, list)
+
+
+def test_software_nfa_scan(benchmark, workload):
+    ruleset, payload = workload
+    nfa = AhoCorasickNFA.from_patterns(ruleset.patterns)
+    result = benchmark(nfa.match, payload)
+    assert isinstance(result, list)
+
+
+def test_software_dtp_scan(benchmark, workload):
+    ruleset, payload = workload
+    dtp = DTPAutomaton.from_ruleset(ruleset)
+    result = benchmark(dtp.match, payload)
+    assert isinstance(result, list)
+
+
+def test_software_wu_manber_scan(benchmark, workload):
+    ruleset, payload = workload
+    matcher = WuManber(ruleset.patterns)
+    result = benchmark(matcher.match, payload)
+    assert isinstance(result, list)
+
+
+def test_software_matchers_agree(workload):
+    ruleset, payload = workload
+    expected = sorted(AhoCorasickDFA.from_patterns(ruleset.patterns).match(payload))
+    assert sorted(DTPAutomaton.from_ruleset(ruleset).match(payload)) == expected
+    assert sorted(WuManber(ruleset.patterns).match(payload)) == expected

@@ -1,0 +1,31 @@
+"""E3 — Table I: FPGA resource utilisation (logic, M9K blocks, fmax)."""
+
+from repro.analysis import PAPER_TABLE1_REFERENCE, format_table, table1_row
+from repro.fpga import CYCLONE_III, STRATIX_III, estimate_resources
+
+
+def test_table1_resource_utilisation(benchmark, write_result):
+    def build():
+        return {device.family: estimate_resources(device) for device in (CYCLONE_III, STRATIX_III)}
+
+    estimates = benchmark.pedantic(build, rounds=10, iterations=1)
+
+    rows = []
+    for device in (CYCLONE_III, STRATIX_III):
+        row = table1_row(device).as_dict()
+        reference = PAPER_TABLE1_REFERENCE[device.family]
+        row["paper_logic"] = f"{int(reference['logic_used']):,}"
+        row["paper_m9k"] = int(reference["m9k_used"])
+        row["paper_fmax"] = reference["fmax_mhz"]
+        rows.append(row)
+    text = format_table(rows, title="Table I — resource utilisation (model vs paper)")
+    write_result("table1_resources.txt", text)
+
+    # anchors: the M9K counts of the paper are reproduced exactly, the logic
+    # estimate is within 2 %, and both configurations fit their device.
+    for device in (CYCLONE_III, STRATIX_III):
+        estimate = estimates[device.family]
+        reference = PAPER_TABLE1_REFERENCE[device.family]
+        assert estimate.m9k_blocks == reference["m9k_used"]
+        assert abs(estimate.logic_cells - reference["logic_used"]) / reference["logic_used"] < 0.02
+        assert estimate.fits()

@@ -1,0 +1,90 @@
+"""E4 — Table II: reduction in transition pointers, memory and throughput.
+
+One benchmark per device half of the table.  Each regenerates the full set of
+columns (original Aho-Corasick statistics, default-pointer counts, average
+stored pointers after each compression stage, memory footprint and
+throughput) and checks the headline claims:
+
+* pointer reduction of at least 96 % on every ruleset size;
+* throughput follows the 16 x fmax x (blocks / blocks-per-group) law;
+* memory grows roughly linearly in the number of strings (the paper's
+  "memory consumption scales very well" observation).
+"""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE2_REFERENCE,
+    TABLE2_CYCLONE_SIZES,
+    TABLE2_STRATIX_SIZES,
+    format_table,
+    table2_row,
+)
+from repro.fpga import CYCLONE_III, STRATIX_III
+
+
+def _build_rows(sizes, device, paper_family, compiled_program, original_dfa):
+    rows = []
+    for size in sizes:
+        row = table2_row(
+            paper_family[size],
+            device,
+            program=compiled_program(size, device),
+            original=original_dfa(size),
+        )
+        rows.append(row)
+    return rows
+
+
+def _render(rows, device):
+    dicts = []
+    for row in rows:
+        data = row.as_dict()
+        reference = PAPER_TABLE2_REFERENCE[device.family].get(row.num_strings, {})
+        data["paper_blocks"] = reference.get("blocks", "-")
+        data["paper_avg_final"] = reference.get("avg_final", "-")
+        data["paper_red_%"] = reference.get("reduction_%", "-")
+        data["paper_speed"] = reference.get("speed_gbps", "-")
+        dicts.append(data)
+    return format_table(dicts, title=f"Table II — {device.family} (measured vs paper)")
+
+
+def _check_claims(rows, device):
+    for row in rows:
+        assert row.reduction_percent > 96.0
+        assert row.avg_after_d1 < row.original_avg_pointers
+        assert row.avg_after_d1_d2 <= row.avg_after_d1
+        assert row.avg_after_d1_d2_d3 <= row.avg_after_d1_d2
+        groups = device.num_matching_blocks // row.blocks
+        expected_gbps = groups * 16 * device.memory_fmax_mhz / 1000.0
+        assert row.throughput_gbps == pytest.approx(expected_gbps, rel=0.01)
+    # more strings -> more memory, never more throughput
+    ordered = sorted(rows, key=lambda r: r.num_strings)
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert larger.memory_bytes > smaller.memory_bytes
+        assert larger.throughput_gbps <= smaller.throughput_gbps
+    # bytes per string decreases as rulesets grow (Section V.C observation)
+    per_string = [row.memory_bytes / row.num_strings for row in ordered]
+    assert per_string[-1] <= per_string[0] * 1.25
+
+
+def test_table2_stratix(benchmark, write_result, paper_family, compiled_program, original_dfa):
+    rows = benchmark.pedantic(
+        _build_rows,
+        args=(TABLE2_STRATIX_SIZES, STRATIX_III, paper_family, compiled_program, original_dfa),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table2_stratix3.txt", _render(rows, STRATIX_III))
+    _check_claims(rows, STRATIX_III)
+
+
+def test_table2_cyclone(benchmark, write_result, paper_family, compiled_program, original_dfa):
+    rows = benchmark.pedantic(
+        _build_rows,
+        args=(TABLE2_CYCLONE_SIZES, CYCLONE_III, paper_family, compiled_program, original_dfa),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table2_cyclone3.txt", _render(rows, CYCLONE_III))
+    _check_claims(rows, CYCLONE_III)

@@ -1,0 +1,46 @@
+"""E7 — Table III: comparison against the bitmap and path-compressed AC of
+Tuck et al. on a ~19,124-character Snort-like workload."""
+
+import pytest
+
+from repro.analysis import PAPER_TABLE3_REFERENCE, format_table, table3_rows
+from repro.fpga import CYCLONE_III, STRATIX_III
+from repro.rulesets import reduce_to_character_count
+
+TARGET_CHARACTERS = 19_124
+
+
+def test_table3_comparison(benchmark, write_result, paper_family):
+    workload = reduce_to_character_count(paper_family[6275], TARGET_CHARACTERS, seed=2010)
+    assert TARGET_CHARACTERS <= workload.total_characters <= TARGET_CHARACTERS + 150
+
+    rows = benchmark.pedantic(
+        lambda: table3_rows(workload, (CYCLONE_III, STRATIX_III)), rounds=1, iterations=1
+    )
+    text = format_table([row.as_dict() for row in rows], title="Table III — measured")
+    text += "\n\n" + format_table(PAPER_TABLE3_REFERENCE, title="Table III — as reported in the paper")
+    write_result("table3_comparison.txt", text)
+
+    ours = min(row.memory_bytes for row in rows if "DTP" in row.approach)
+    bitmap_ours = next(r.memory_bytes for r in rows if r.approach.startswith("Bitmap AC (reimpl"))
+    path_ours = next(
+        r.memory_bytes for r in rows if r.approach.startswith("Path-compressed AC (reimpl")
+    )
+    bitmap_paper = next(
+        r.memory_bytes for r in rows if "Bitmap AC (as reported" in r.approach
+    )
+    path_paper = next(
+        r.memory_bytes for r in rows if "Path-compressed AC (as reported" in r.approach
+    )
+
+    # Headline of Table III: the DTP structure is the smallest of the three.
+    # Against the figures reported by Tuck et al. the paper claims ~20x and
+    # ~8x; our reimplementation of their structures is considerably leaner
+    # than their reported numbers (no padding/allocator overhead), so the
+    # measured factors are smaller, but the ordering and the large advantage
+    # over the as-reported figures must hold.  See EXPERIMENTS.md (E7).
+    assert ours * 4 < bitmap_ours
+    assert ours < path_ours
+    assert ours * 15 < bitmap_paper
+    assert ours * 6 < path_paper
+    assert path_ours < bitmap_ours  # path compression beats plain bitmaps, as in [13]

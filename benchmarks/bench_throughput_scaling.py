@@ -1,0 +1,59 @@
+"""E9 — throughput scaling: the Table II "Speed" column and Section V.C.
+
+Sweeps the number of blocks a ruleset occupies on both devices and checks the
+16 x fmax x (total blocks // blocks-per-group) law, including the exact
+throughput ladder quoted in the paper.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.fpga import (
+    CYCLONE_III,
+    STRATIX_III,
+    accelerator_throughput_gbps,
+    block_throughput_gbps,
+)
+
+PAPER_LADDER = {
+    ("Stratix III", 1): 44.2,
+    ("Stratix III", 2): 22.1,
+    ("Stratix III", 3): 14.7,
+    ("Stratix III", 6): 7.4,
+    ("Cyclone III", 1): 14.9,
+    ("Cyclone III", 2): 7.5,
+    ("Cyclone III", 4): 3.7,
+}
+
+
+def test_throughput_scaling_ladder(benchmark, write_result):
+    def sweep():
+        rows = []
+        for device in (CYCLONE_III, STRATIX_III):
+            for blocks_per_group in range(1, device.num_matching_blocks + 1):
+                gbps = accelerator_throughput_gbps(
+                    device.memory_fmax_mhz, device.num_matching_blocks, blocks_per_group
+                )
+                rows.append(
+                    {
+                        "device": device.family,
+                        "blocks_per_group": blocks_per_group,
+                        "packet_groups": device.num_matching_blocks // blocks_per_group,
+                        "block_gbps": round(block_throughput_gbps(device.memory_fmax_mhz), 2),
+                        "total_gbps": round(gbps, 1),
+                        "paper_gbps": PAPER_LADDER.get((device.family, blocks_per_group), "-"),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=10, iterations=1)
+    write_result("throughput_scaling.txt",
+                 format_table(rows, title="Throughput vs blocks-per-group (16 x fmax law)"))
+
+    by_key = {(row["device"], row["blocks_per_group"]): row["total_gbps"] for row in rows}
+    for key, expected in PAPER_LADDER.items():
+        assert by_key[key] == pytest.approx(expected, abs=0.1)
+
+    # the OC-768 / OC-192 headlines of the abstract
+    assert by_key[("Stratix III", 1)] > 40.0
+    assert by_key[("Cyclone III", 1)] > 10.0

@@ -1,0 +1,88 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper; the expensive
+artefacts (the six-ruleset family, compiled accelerator programs) are built
+once per session and cached.  Every benchmark also writes its regenerated
+table/figure to ``benchmarks/results/`` so the outputs survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.automata import AhoCorasickDFA
+from repro.core import compile_ruleset
+from repro.fpga import CYCLONE_III, STRATIX_III, FPGADevice
+from repro.rulesets import RuleSet, generate_paper_rulesets
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Seed used for every benchmark workload (deterministic regeneration).
+BENCH_SEED = 2010
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write a named artefact into benchmarks/results/ and echo it."""
+
+    def _write(name: str, text: str) -> pathlib.Path:
+        path = results_dir / name
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n[{name}]\n{text}\n")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def paper_family() -> Dict[int, RuleSet]:
+    """The six ruleset sizes evaluated in the paper (Figure 6 / Table II)."""
+    return generate_paper_rulesets(seed=BENCH_SEED)
+
+
+_PROGRAM_CACHE: Dict[Tuple[str, int], object] = {}
+_DFA_CACHE: Dict[int, AhoCorasickDFA] = {}
+
+
+@pytest.fixture(scope="session")
+def compiled_program(paper_family):
+    """Cache of compile_ruleset(family[size], device) results."""
+
+    def _get(size: int, device: FPGADevice):
+        key = (device.name, size)
+        if key not in _PROGRAM_CACHE:
+            _PROGRAM_CACHE[key] = compile_ruleset(paper_family[size], device)
+        return _PROGRAM_CACHE[key]
+
+    return _get
+
+
+@pytest.fixture(scope="session")
+def original_dfa(paper_family):
+    """Cache of the unpartitioned move-function DFA per ruleset size."""
+
+    def _get(size: int) -> AhoCorasickDFA:
+        if size not in _DFA_CACHE:
+            _DFA_CACHE[size] = AhoCorasickDFA.from_patterns(paper_family[size].patterns)
+        return _DFA_CACHE[size]
+
+    return _get
+
+
+@pytest.fixture(scope="session")
+def stratix() -> FPGADevice:
+    return STRATIX_III
+
+
+@pytest.fixture(scope="session")
+def cyclone() -> FPGADevice:
+    return CYCLONE_III

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""How memory, block count and throughput scale with the ruleset size.
+
+Regenerates a miniature version of Table II on both FPGA targets, plus the
+power/throughput trade-off of Figures 7 and 8, using smaller ruleset sizes so
+the example runs in a few seconds.
+
+Run with:  python examples/ruleset_scaling.py
+"""
+
+from repro import CYCLONE_III, STRATIX_III, compile_ruleset
+from repro.analysis import format_table, power_curves
+from repro.automata import AhoCorasickDFA
+from repro.rulesets import generate_paper_rulesets
+
+SIZES = (200, 400, 800, 1600)
+
+
+def main() -> None:
+    family = generate_paper_rulesets(sizes=SIZES, seed=42)
+
+    for device in (STRATIX_III, CYCLONE_III):
+        rows = []
+        for size in SIZES:
+            ruleset = family[size]
+            baseline = AhoCorasickDFA.from_patterns(ruleset.patterns)
+            program = compile_ruleset(ruleset, device)
+            rows.append({
+                "strings": size,
+                "characters": ruleset.total_characters,
+                "orig avg ptrs": round(baseline.average_pointers_per_state(), 2),
+                "compressed avg": round(program.average_stored_pointers, 2),
+                "blocks": program.blocks_per_group,
+                "memory (bytes)": program.total_memory_bytes(),
+                "bytes/string": round(program.total_memory_bytes() / size, 1),
+                "throughput (Gbps)": round(program.throughput_gbps, 1),
+            })
+        print(format_table(rows, title=f"Scaling on {device.family}"))
+        print()
+
+    # the power/throughput fan-out of Figures 7/8, for the largest and the
+    # smallest configuration on the Stratix III target
+    blocks = {
+        f"{SIZES[0]} strings": compile_ruleset(family[SIZES[0]], STRATIX_III).blocks_per_group,
+        f"{SIZES[-1]} strings": compile_ruleset(family[SIZES[-1]], STRATIX_III).blocks_per_group,
+    }
+    for curve in power_curves(STRATIX_III, blocks, num_points=6):
+        print(format_table(curve.points,
+                           title=f"Power sweep — {curve.label} "
+                                 f"({curve.blocks_per_group} block(s) per group)"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

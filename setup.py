@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so the package can be installed in environments without the ``wheel``
+package (offline legacy editable installs); all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

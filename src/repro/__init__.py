@@ -1,0 +1,105 @@
+"""Reproduction of "Ultra-High Throughput String Matching for Deep Packet
+Inspection" (Kennedy, Wang, Liu, Liu — DATE 2010).
+
+The package is organised as:
+
+* :mod:`repro.core`     — the paper's contribution: the DTP-compressed
+  Aho-Corasick automaton, its memory layout and the ruleset -> accelerator
+  compiler;
+* :mod:`repro.automata` — classic string matching substrates and baselines;
+* :mod:`repro.rulesets` — synthetic Snort-like rulesets (the paper's workload);
+* :mod:`repro.hardware` — cycle-level simulation of the engines/blocks;
+* :mod:`repro.fpga`     — device, resource, power and throughput models;
+* :mod:`repro.traffic`  — packets and traffic generation;
+* :mod:`repro.ids`      — an end-to-end mini intrusion detection pipeline;
+* :mod:`repro.analysis` — the metrics behind every table and figure.
+
+Quick start::
+
+    from repro import generate_snort_like_ruleset, compile_ruleset, STRATIX_III
+
+    ruleset = generate_snort_like_ruleset(634)
+    program = compile_ruleset(ruleset, STRATIX_III)
+    print(program.throughput_gbps, program.total_memory_bytes())
+    print(program.match(b"... packet payload ..."))
+"""
+
+from .automata import (
+    AhoCorasickDFA,
+    AhoCorasickNFA,
+    BitmapAhoCorasick,
+    PathCompressedAhoCorasick,
+    Trie,
+    WuManber,
+)
+from .core import (
+    AcceleratorProgram,
+    DTPAutomaton,
+    DefaultTransitionTable,
+    MatchMemory,
+    PackedStateMachine,
+    build_default_transition_table,
+    compile_ruleset,
+    pack_state_machine,
+    partition_ruleset,
+)
+from .fpga import (
+    CYCLONE_III,
+    STRATIX_III,
+    FPGADevice,
+    PowerModel,
+    estimate_resources,
+    get_device,
+)
+from .hardware import HardwareAccelerator, StringMatchingBlock, StringMatchingEngine
+from .ids import IDSRule, IntrusionDetectionSystem
+from .rulesets import (
+    RuleSet,
+    generate_paper_rulesets,
+    generate_snort_like_ruleset,
+    parse_rule,
+    reduce_ruleset,
+    reduce_to_character_count,
+)
+from .traffic import Packet, TrafficGenerator, TrafficProfile
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AhoCorasickDFA",
+    "AhoCorasickNFA",
+    "BitmapAhoCorasick",
+    "PathCompressedAhoCorasick",
+    "Trie",
+    "WuManber",
+    "AcceleratorProgram",
+    "DTPAutomaton",
+    "DefaultTransitionTable",
+    "MatchMemory",
+    "PackedStateMachine",
+    "build_default_transition_table",
+    "compile_ruleset",
+    "pack_state_machine",
+    "partition_ruleset",
+    "CYCLONE_III",
+    "STRATIX_III",
+    "FPGADevice",
+    "PowerModel",
+    "estimate_resources",
+    "get_device",
+    "HardwareAccelerator",
+    "StringMatchingBlock",
+    "StringMatchingEngine",
+    "IDSRule",
+    "IntrusionDetectionSystem",
+    "RuleSet",
+    "generate_paper_rulesets",
+    "generate_snort_like_ruleset",
+    "parse_rule",
+    "reduce_ruleset",
+    "reduce_to_character_count",
+    "Packet",
+    "TrafficGenerator",
+    "TrafficProfile",
+    "__version__",
+]

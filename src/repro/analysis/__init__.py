@@ -1,0 +1,40 @@
+"""Metric collection and table/figure formatting for the benchmark harness."""
+
+from .metrics import (
+    PAPER_PEAK_POWER_WATTS,
+    PAPER_TABLE1_REFERENCE,
+    PAPER_TABLE2_REFERENCE,
+    PAPER_TABLE3_REFERENCE,
+    TABLE2_CYCLONE_SIZES,
+    TABLE2_STRATIX_SIZES,
+    PowerCurve,
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    power_curves,
+    table1_row,
+    table2_row,
+    table3_rows,
+)
+from .tables import ascii_chart, format_comparison, format_histogram, format_table
+
+__all__ = [
+    "PAPER_PEAK_POWER_WATTS",
+    "PAPER_TABLE1_REFERENCE",
+    "PAPER_TABLE2_REFERENCE",
+    "PAPER_TABLE3_REFERENCE",
+    "TABLE2_CYCLONE_SIZES",
+    "TABLE2_STRATIX_SIZES",
+    "PowerCurve",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "power_curves",
+    "table1_row",
+    "table2_row",
+    "table3_rows",
+    "ascii_chart",
+    "format_comparison",
+    "format_histogram",
+    "format_table",
+]

@@ -1,0 +1,304 @@
+"""Experiment metrics: the quantities reported in the paper's tables and figures.
+
+Every function here returns plain dataclasses/dicts so the benchmark harness,
+the CLI and the tests can share one implementation of "compute the Table II
+row for this ruleset on this device".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..automata.aho_corasick import AhoCorasickDFA
+from ..automata.bitmap_ac import TUCK_BITMAP_REFERENCE_BYTES, BitmapAhoCorasick
+from ..automata.path_compressed_ac import (
+    TUCK_PATH_COMPRESSED_REFERENCE_BYTES,
+    PathCompressedAhoCorasick,
+)
+from ..core.accelerator_config import AcceleratorProgram, compile_ruleset
+from ..fpga.devices import FPGADevice
+from ..fpga.power import PowerModel
+from ..fpga.resources import ResourceEstimate, estimate_resources
+from ..fpga.throughput import accelerator_throughput_gbps
+from ..rulesets.ruleset import RuleSet
+
+
+# ----------------------------------------------------------------------
+# Table II — reduction in transition pointers
+# ----------------------------------------------------------------------
+@dataclass
+class Table2Row:
+    """One column of Table II (the paper lays rulesets out as columns)."""
+
+    ruleset_name: str
+    num_strings: int
+    device: str
+    # original Aho-Corasick (move function) on the unpartitioned ruleset
+    original_states: int
+    original_avg_pointers: float
+    # our method, after partitioning across blocks
+    blocks: int
+    states: int
+    d1_defaults: int
+    avg_after_d1: float
+    d1_d2_defaults: int
+    avg_after_d1_d2: float
+    d1_d2_d3_defaults: int
+    avg_after_d1_d2_d3: float
+    reduction_percent: float
+    memory_bytes: int
+    throughput_gbps: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "strings": self.num_strings,
+            "device": self.device,
+            "orig_states": self.original_states,
+            "orig_avg_ptrs": round(self.original_avg_pointers, 2),
+            "blocks": self.blocks,
+            "states": self.states,
+            "d1": self.d1_defaults,
+            "avg_d1": round(self.avg_after_d1, 2),
+            "d1+d2": self.d1_d2_defaults,
+            "avg_d1d2": round(self.avg_after_d1_d2, 2),
+            "d1+d2+d3": self.d1_d2_d3_defaults,
+            "avg_final": round(self.avg_after_d1_d2_d3, 2),
+            "reduction_%": round(self.reduction_percent, 1),
+            "memory_bytes": self.memory_bytes,
+            "speed_gbps": round(self.throughput_gbps, 1),
+        }
+
+
+def table2_row(
+    ruleset: RuleSet,
+    device: FPGADevice,
+    program: Optional[AcceleratorProgram] = None,
+    original: Optional[AhoCorasickDFA] = None,
+) -> Table2Row:
+    """Compute one Table II column for ``ruleset`` on ``device``.
+
+    ``program`` and ``original`` can be passed in when the caller already
+    built them (they are the expensive parts).
+    """
+    if original is None:
+        original = AhoCorasickDFA.from_patterns(ruleset.patterns)
+    if program is None:
+        program = compile_ruleset(ruleset, device)
+
+    staged = program.staged_counts()
+    defaults = program.default_pointer_counts()
+    original_avg = original.average_pointers_per_state()
+    final_avg = staged.after_d1_d2_d3 / staged.num_states
+    reduction = 100.0 * (1.0 - final_avg / original_avg) if original_avg else 0.0
+
+    return Table2Row(
+        ruleset_name=ruleset.name,
+        num_strings=len(ruleset),
+        device=device.family,
+        original_states=original.num_states,
+        original_avg_pointers=original_avg,
+        blocks=program.blocks_per_group,
+        states=program.total_states,
+        d1_defaults=defaults["d1"],
+        avg_after_d1=staged.after_d1 / staged.num_states,
+        d1_d2_defaults=defaults["d1+d2"],
+        avg_after_d1_d2=staged.after_d1_d2 / staged.num_states,
+        d1_d2_d3_defaults=defaults["d1+d2+d3"],
+        avg_after_d1_d2_d3=final_avg,
+        reduction_percent=reduction,
+        memory_bytes=program.total_memory_bytes(),
+        throughput_gbps=program.throughput_gbps,
+    )
+
+
+#: Table II reference values from the paper, for side-by-side reporting.
+PAPER_TABLE2_REFERENCE: Dict[str, Dict[int, Dict[str, float]]] = {
+    "Stratix III": {
+        634: {"blocks": 1, "orig_avg_ptrs": 68.29, "avg_final": 2.39,
+              "reduction_%": 96.5, "memory_bytes": 148_259, "speed_gbps": 44.2},
+        1603: {"blocks": 2, "orig_avg_ptrs": 81.07, "avg_final": 2.01,
+               "reduction_%": 97.5, "memory_bytes": 296_967, "speed_gbps": 22.1},
+        2588: {"blocks": 3, "orig_avg_ptrs": 85.00, "avg_final": 1.90,
+               "reduction_%": 97.8, "memory_bytes": 445_641, "speed_gbps": 14.7},
+        6275: {"blocks": 6, "orig_avg_ptrs": 87.01, "avg_final": 1.54,
+               "reduction_%": 98.2, "memory_bytes": 838_298, "speed_gbps": 7.4},
+    },
+    "Cyclone III": {
+        500: {"blocks": 1, "orig_avg_ptrs": 67.28, "avg_final": 2.09,
+              "reduction_%": 96.9, "memory_bytes": 105_599, "speed_gbps": 14.9},
+        1204: {"blocks": 2, "orig_avg_ptrs": 77.07, "avg_final": 1.88,
+               "reduction_%": 97.6, "memory_bytes": 214_141, "speed_gbps": 7.5},
+        2588: {"blocks": 4, "orig_avg_ptrs": 85.00, "avg_final": 1.18,
+               "reduction_%": 98.6, "memory_bytes": 429_656, "speed_gbps": 3.7},
+    },
+}
+
+#: Which ruleset sizes appear in which half of Table II.
+TABLE2_STRATIX_SIZES = (634, 1603, 2588, 6275)
+TABLE2_CYCLONE_SIZES = (500, 1204, 2588)
+
+
+# ----------------------------------------------------------------------
+# Table I — resource utilisation
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Row:
+    device: str
+    logic_used: int
+    logic_available: int
+    m9k_used: int
+    m9k_available: int
+    fmax_mhz: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "device": self.device,
+            "logic": f"{self.logic_used:,}/{self.logic_available:,}",
+            "m9k": f"{self.m9k_used}/{self.m9k_available}",
+            "fmax_mhz": self.fmax_mhz,
+        }
+
+
+#: Table I reference values from the paper.
+PAPER_TABLE1_REFERENCE: Dict[str, Dict[str, float]] = {
+    "Cyclone III": {"logic_used": 35_511, "m9k_used": 404, "fmax_mhz": 233.15},
+    "Stratix III": {"logic_used": 69_585, "m9k_used": 822, "fmax_mhz": 460.19},
+}
+
+
+def table1_row(device: FPGADevice) -> Table1Row:
+    estimate: ResourceEstimate = estimate_resources(device)
+    return Table1Row(
+        device=device.family,
+        logic_used=estimate.logic_cells,
+        logic_available=device.logic_elements,
+        m9k_used=estimate.m9k_blocks,
+        m9k_available=device.m9k_blocks,
+        fmax_mhz=device.memory_fmax_mhz,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III — comparison against Tuck et al.
+# ----------------------------------------------------------------------
+@dataclass
+class Table3Row:
+    approach: str
+    device: str
+    memory_bytes: int
+    throughput_gbps: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "approach": self.approach,
+            "device": self.device,
+            "memory_bytes": self.memory_bytes,
+            "throughput_gbps": round(self.throughput_gbps, 1),
+        }
+
+
+#: Table III reference values from the paper.
+PAPER_TABLE3_REFERENCE = [
+    {"approach": "Our method", "device": "Cyclone 3", "memory_bytes": 138_470, "throughput_gbps": 7.5},
+    {"approach": "Our method", "device": "Stratix 3", "memory_bytes": 138_470, "throughput_gbps": 22.1},
+    {"approach": "Bitmap [13]", "device": "ASIC", "memory_bytes": 2_800_000, "throughput_gbps": 7.8},
+    {"approach": "Path compression [13]", "device": "ASIC", "memory_bytes": 1_100_000, "throughput_gbps": 7.8},
+]
+
+
+def table3_rows(
+    ruleset: RuleSet,
+    devices: Sequence[FPGADevice],
+    reference_throughput_gbps: float = 7.8,
+) -> List[Table3Row]:
+    """Compute Table III for ``ruleset`` (the ~19,124-character workload)."""
+    rows: List[Table3Row] = []
+    for device in devices:
+        program = compile_ruleset(ruleset, device)
+        rows.append(
+            Table3Row(
+                approach="Our method (DTP)",
+                device=device.family,
+                memory_bytes=program.total_memory_bytes(),
+                throughput_gbps=program.throughput_gbps,
+            )
+        )
+    bitmap = BitmapAhoCorasick.from_patterns(ruleset.patterns)
+    rows.append(
+        Table3Row(
+            approach="Bitmap AC (reimplemented, Tuck et al.)",
+            device="ASIC model",
+            memory_bytes=bitmap.memory_bytes(),
+            throughput_gbps=reference_throughput_gbps,
+        )
+    )
+    path = PathCompressedAhoCorasick.from_patterns(ruleset.patterns)
+    rows.append(
+        Table3Row(
+            approach="Path-compressed AC (reimplemented, Tuck et al.)",
+            device="ASIC model",
+            memory_bytes=path.memory_bytes(),
+            throughput_gbps=reference_throughput_gbps,
+        )
+    )
+    rows.append(
+        Table3Row(
+            approach="Bitmap AC (as reported in [13])",
+            device="ASIC",
+            memory_bytes=TUCK_BITMAP_REFERENCE_BYTES,
+            throughput_gbps=reference_throughput_gbps,
+        )
+    )
+    rows.append(
+        Table3Row(
+            approach="Path-compressed AC (as reported in [13])",
+            device="ASIC",
+            memory_bytes=TUCK_PATH_COMPRESSED_REFERENCE_BYTES,
+            throughput_gbps=reference_throughput_gbps,
+        )
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 7 / 8 — power vs throughput
+# ----------------------------------------------------------------------
+@dataclass
+class PowerCurve:
+    """One line of Figure 7/8: a ruleset's power/throughput trade-off."""
+
+    label: str
+    blocks_per_group: int
+    points: List[Dict[str, float]] = field(default_factory=list)
+
+
+def power_curves(
+    device: FPGADevice,
+    rulesets_blocks: Dict[str, int],
+    num_points: int = 12,
+) -> List[PowerCurve]:
+    """Power sweep for every (ruleset label -> blocks per group) entry."""
+    model = PowerModel(device)
+    curves: List[PowerCurve] = []
+    for label, blocks in rulesets_blocks.items():
+        sweep = model.sweep(blocks_per_group=blocks, num_points=num_points)
+        curves.append(
+            PowerCurve(
+                label=label,
+                blocks_per_group=blocks,
+                points=[
+                    {
+                        "clock_mhz": round(point.memory_clock_mhz, 2),
+                        "power_watts": round(point.power_watts, 3),
+                        "throughput_gbps": round(point.throughput_gbps, 2),
+                    }
+                    for point in sweep
+                ],
+            )
+        )
+    return curves
+
+
+#: Peak power figures quoted in Section V.D.
+PAPER_PEAK_POWER_WATTS = {"Cyclone III": 2.78, "Stratix III": 13.28}

@@ -1,0 +1,95 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints these so that running a bench regenerates the
+paper's tables/figures as readable text (there is no plotting dependency in
+the offline environment; the figure functions emit the series data plus a
+crude ASCII chart).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], title: Optional[str] = None
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    measured: Mapping[str, object],
+    reference: Mapping[str, object],
+    title: str = "",
+) -> str:
+    """Two-column 'measured vs paper' rendering for EXPERIMENTS.md style output."""
+    keys = [key for key in measured if key in reference]
+    rows = [
+        {"metric": key, "measured": measured[key], "paper": reference[key]}
+        for key in keys
+    ]
+    return format_table(rows, title=title or "measured vs paper")
+
+
+def ascii_chart(
+    points: Sequence[Mapping[str, float]],
+    x_key: str,
+    y_key: str,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Very small ASCII scatter/line chart for figure-style outputs."""
+    if not points:
+        return f"{label}: (no points)"
+    xs = [float(p[x_key]) for p in points]
+    ys = [float(p[y_key]) for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][column] = "*"
+    lines = [f"{label} ({y_key} vs {x_key})"] if label else []
+    for index, row in enumerate(grid):
+        y_value = y_max - index * y_span / (height - 1)
+        lines.append(f"{y_value:10.2f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<10.2f}" + " " * (width - 20) + f"{x_max:>10.2f}")
+    return "\n".join(lines)
+
+
+def format_histogram(
+    histogram: Mapping[str, int], title: str = "", bar_width: int = 50
+) -> str:
+    """Horizontal bar rendering of a bucketed histogram (Figure 6 style)."""
+    if not histogram:
+        return f"{title}: (empty)"
+    peak = max(histogram.values()) or 1
+    lines = [title] if title else []
+    for bucket, count in histogram.items():
+        bar = "#" * max(1 if count else 0, int(count / peak * bar_width))
+        lines.append(f"{bucket:>8} | {str(count).rjust(6)} {bar}")
+    return "\n".join(lines)

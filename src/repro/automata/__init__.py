@@ -1,0 +1,42 @@
+"""Classic string matching automata used as substrates and baselines."""
+
+from .aho_corasick import (
+    AhoCorasickDFA,
+    AhoCorasickNFA,
+    NFAMatchStats,
+    verify_equivalent_matches,
+)
+from .bitmap_ac import (
+    TUCK_BITMAP_REFERENCE_BYTES,
+    BitmapAhoCorasick,
+    BitmapNodeLayout,
+)
+from .path_compressed_ac import (
+    TUCK_PATH_COMPRESSED_REFERENCE_BYTES,
+    PathCompressedAhoCorasick,
+    PathNodeLayout,
+)
+from .single_pattern import BoyerMoore, KnuthMorrisPratt, NaiveMultiPattern
+from .trie import ALPHABET_SIZE, ROOT, Trie, TrieStats
+from .wu_manber import WuManber
+
+__all__ = [
+    "AhoCorasickDFA",
+    "AhoCorasickNFA",
+    "NFAMatchStats",
+    "verify_equivalent_matches",
+    "BitmapAhoCorasick",
+    "BitmapNodeLayout",
+    "TUCK_BITMAP_REFERENCE_BYTES",
+    "PathCompressedAhoCorasick",
+    "PathNodeLayout",
+    "TUCK_PATH_COMPRESSED_REFERENCE_BYTES",
+    "BoyerMoore",
+    "KnuthMorrisPratt",
+    "NaiveMultiPattern",
+    "ALPHABET_SIZE",
+    "ROOT",
+    "Trie",
+    "TrieStats",
+    "WuManber",
+]

@@ -1,0 +1,138 @@
+"""Single-pattern baselines: Knuth-Morris-Pratt and Boyer-Moore.
+
+Section II cites these as the classic single-string algorithms; they are
+included as software baselines so the benchmark harness can show why a
+multi-pattern automaton is required for DPI-scale rulesets (running one
+single-pattern matcher per rule scales linearly with the ruleset size).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+MatchList = List[Tuple[int, int]]  # (end_position, pattern_id)
+
+
+class KnuthMorrisPratt:
+    """Knuth-Morris-Pratt single pattern matcher."""
+
+    def __init__(self, pattern: bytes, pattern_id: int = 0):
+        if len(pattern) == 0:
+            raise ValueError("pattern must not be empty")
+        self.pattern = bytes(pattern)
+        self.pattern_id = pattern_id
+        self.prefix_function = self._build_prefix_function(self.pattern)
+
+    @staticmethod
+    def _build_prefix_function(pattern: bytes) -> List[int]:
+        prefix = [0] * len(pattern)
+        k = 0
+        for i in range(1, len(pattern)):
+            while k > 0 and pattern[k] != pattern[i]:
+                k = prefix[k - 1]
+            if pattern[k] == pattern[i]:
+                k += 1
+            prefix[i] = k
+        return prefix
+
+    def match(self, data: bytes) -> MatchList:
+        matches: MatchList = []
+        pattern = self.pattern
+        prefix = self.prefix_function
+        k = 0
+        for position, byte in enumerate(data):
+            while k > 0 and pattern[k] != byte:
+                k = prefix[k - 1]
+            if pattern[k] == byte:
+                k += 1
+            if k == len(pattern):
+                matches.append((position + 1, self.pattern_id))
+                k = prefix[k - 1]
+        return matches
+
+
+class BoyerMoore:
+    """Boyer-Moore single pattern matcher (bad character + good suffix rules)."""
+
+    def __init__(self, pattern: bytes, pattern_id: int = 0):
+        if len(pattern) == 0:
+            raise ValueError("pattern must not be empty")
+        self.pattern = bytes(pattern)
+        self.pattern_id = pattern_id
+        self._bad_character = self._build_bad_character(self.pattern)
+        self._good_suffix = self._build_good_suffix(self.pattern)
+
+    @staticmethod
+    def _build_bad_character(pattern: bytes) -> List[int]:
+        table = [-1] * 256
+        for index, byte in enumerate(pattern):
+            table[byte] = index
+        return table
+
+    @staticmethod
+    def _build_good_suffix(pattern: bytes) -> List[int]:
+        m = len(pattern)
+        suffix = [0] * m
+        suffix[m - 1] = m
+        g = m - 1
+        f = 0
+        for i in range(m - 2, -1, -1):
+            if i > g and suffix[i + m - 1 - f] < i - g:
+                suffix[i] = suffix[i + m - 1 - f]
+            else:
+                if i < g:
+                    g = i
+                f = i
+                while g >= 0 and pattern[g] == pattern[g + m - 1 - f]:
+                    g -= 1
+                suffix[i] = f - g
+        shift = [m] * m
+        j = 0
+        for i in range(m - 1, -1, -1):
+            if suffix[i] == i + 1:
+                while j < m - 1 - i:
+                    if shift[j] == m:
+                        shift[j] = m - 1 - i
+                    j += 1
+        for i in range(m - 1):
+            shift[m - 1 - suffix[i]] = m - 1 - i
+        return shift
+
+    def match(self, data: bytes) -> MatchList:
+        matches: MatchList = []
+        pattern = self.pattern
+        m = len(pattern)
+        n = len(data)
+        j = 0
+        while j <= n - m:
+            i = m - 1
+            while i >= 0 and pattern[i] == data[j + i]:
+                i -= 1
+            if i < 0:
+                matches.append((j + m, self.pattern_id))
+                j += self._good_suffix[0]
+            else:
+                bad_char_shift = i - self._bad_character[data[j + i]]
+                j += max(self._good_suffix[i], bad_char_shift, 1)
+        return matches
+
+
+class NaiveMultiPattern:
+    """Run one single-pattern matcher per rule; the obvious non-solution.
+
+    Used by benchmarks to illustrate the scaling argument that motivates
+    Aho-Corasick style automata for DPI.
+    """
+
+    def __init__(self, patterns: Sequence[bytes], algorithm: str = "kmp"):
+        if algorithm not in ("kmp", "boyer-moore"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        factory = KnuthMorrisPratt if algorithm == "kmp" else BoyerMoore
+        self.matchers = [factory(p, pattern_id=i) for i, p in enumerate(patterns)]
+
+    def match(self, data: bytes) -> MatchList:
+        matches: MatchList = []
+        for matcher in self.matchers:
+            matches.extend(matcher.match(data))
+        matches.sort()
+        return matches

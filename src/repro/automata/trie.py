@@ -1,0 +1,150 @@
+"""Trie (keyword tree) used as the construction substrate for Aho-Corasick.
+
+The trie is stored in flat parallel arrays indexed by a dense integer state
+id.  State ``0`` is always the root.  Each non-root state corresponds to a
+unique prefix of one or more patterns; its *label* is the final byte of that
+prefix and its *depth* is the prefix length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+ROOT = 0
+ALPHABET_SIZE = 256
+
+
+@dataclass
+class TrieStats:
+    """Summary statistics of a built trie."""
+
+    num_states: int
+    num_patterns: int
+    total_pattern_bytes: int
+    max_depth: int
+    states_per_depth: Dict[int, int] = field(default_factory=dict)
+
+
+class Trie:
+    """Byte-alphabet keyword trie.
+
+    Patterns are arbitrary ``bytes``.  Duplicate patterns are accepted and
+    both pattern ids are attached to the same terminal state.
+    """
+
+    def __init__(self) -> None:
+        # children[state] maps byte value -> child state id
+        self.children: List[Dict[int, int]] = [{}]
+        self.parent: List[int] = [ROOT]
+        self.label: List[int] = [-1]  # byte that leads into the state, -1 for root
+        self.depth: List[int] = [0]
+        # outputs[state] -> list of pattern ids terminating at the state
+        self.outputs: List[List[int]] = [[]]
+        self.patterns: List[bytes] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_pattern(self, pattern: bytes) -> int:
+        """Insert ``pattern`` and return its pattern id.
+
+        Raises ``ValueError`` for empty patterns: an empty pattern would make
+        every position of every packet a match and has no state in the
+        automaton.
+        """
+        if not isinstance(pattern, (bytes, bytearray)):
+            raise TypeError(f"pattern must be bytes, got {type(pattern).__name__}")
+        if len(pattern) == 0:
+            raise ValueError("empty patterns are not allowed")
+        pattern = bytes(pattern)
+        pattern_id = len(self.patterns)
+        self.patterns.append(pattern)
+
+        state = ROOT
+        for byte in pattern:
+            nxt = self.children[state].get(byte)
+            if nxt is None:
+                nxt = self._new_state(parent=state, label=byte)
+                self.children[state][byte] = nxt
+            state = nxt
+        self.outputs[state].append(pattern_id)
+        return pattern_id
+
+    def add_patterns(self, patterns: Iterable[bytes]) -> List[int]:
+        """Insert every pattern and return the assigned pattern ids."""
+        return [self.add_pattern(p) for p in patterns]
+
+    def _new_state(self, parent: int, label: int) -> int:
+        state = len(self.children)
+        self.children.append({})
+        self.parent.append(parent)
+        self.label.append(label)
+        self.depth.append(self.depth[parent] + 1)
+        self.outputs.append([])
+        return state
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.children)
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self.patterns)
+
+    def goto(self, state: int, byte: int) -> Optional[int]:
+        """The goto function: child of ``state`` on ``byte`` or ``None``."""
+        return self.children[state].get(byte)
+
+    def find_node(self, prefix: bytes) -> Optional[int]:
+        """Return the state reached by walking ``prefix`` from the root."""
+        state = ROOT
+        for byte in prefix:
+            nxt = self.children[state].get(byte)
+            if nxt is None:
+                return None
+            state = nxt
+        return state
+
+    def string_of(self, state: int) -> bytes:
+        """Reconstruct the prefix (path string) for ``state``."""
+        out = bytearray()
+        while state != ROOT:
+            out.append(self.label[state])
+            state = self.parent[state]
+        out.reverse()
+        return bytes(out)
+
+    def states_at_depth(self, depth: int) -> List[int]:
+        return [s for s in range(self.num_states) if self.depth[s] == depth]
+
+    def iter_bfs(self) -> Iterator[int]:
+        """Yield states in breadth-first (depth) order, root first."""
+        queue: List[int] = [ROOT]
+        index = 0
+        while index < len(queue):
+            state = queue[index]
+            index += 1
+            yield state
+            queue.extend(self.children[state].values())
+
+    def stats(self) -> TrieStats:
+        per_depth: Dict[int, int] = {}
+        for depth in self.depth:
+            per_depth[depth] = per_depth.get(depth, 0) + 1
+        return TrieStats(
+            num_states=self.num_states,
+            num_patterns=self.num_patterns,
+            total_pattern_bytes=sum(len(p) for p in self.patterns),
+            max_depth=max(self.depth),
+            states_per_depth=per_depth,
+        )
+
+    @classmethod
+    def from_patterns(cls, patterns: Sequence[bytes]) -> "Trie":
+        trie = cls()
+        trie.add_patterns(patterns)
+        return trie

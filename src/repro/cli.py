@@ -1,0 +1,236 @@
+"""Command line interface: ``repro-dpi`` / ``python -m repro``.
+
+Subcommands map one-to-one onto the paper's artefacts so every table and
+figure can be regenerated from a shell:
+
+* ``generate-ruleset`` — synthesise a Snort-like ruleset and dump it to disk;
+* ``compile``          — compile a ruleset for a device and print statistics;
+* ``scan``             — run the cycle-level hardware model over synthetic traffic;
+* ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
+* ``fig6`` / ``fig7`` / ``fig8``       — regenerate the paper's figures as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .analysis.metrics import (
+    PAPER_TABLE1_REFERENCE,
+    PAPER_TABLE2_REFERENCE,
+    PAPER_TABLE3_REFERENCE,
+    TABLE2_CYCLONE_SIZES,
+    TABLE2_STRATIX_SIZES,
+    power_curves,
+    table1_row,
+    table2_row,
+    table3_rows,
+)
+from .analysis.tables import ascii_chart, format_histogram, format_table
+from .core.accelerator_config import compile_ruleset
+from .fpga.devices import CYCLONE_III, DEVICES, STRATIX_III, get_device
+from .hardware.accelerator import HardwareAccelerator
+from .rulesets.generator import generate_paper_rulesets, generate_snort_like_ruleset
+from .rulesets.reducer import reduce_to_character_count
+from .traffic.generator import TrafficGenerator, TrafficProfile
+
+
+def _add_ruleset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", type=int, default=634, help="number of strings")
+    parser.add_argument("--seed", type=int, default=2010, help="generation seed")
+
+
+def _cmd_generate_ruleset(args: argparse.Namespace) -> int:
+    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
+    lines = [
+        f"# synthetic Snort-like ruleset: {len(ruleset)} strings, "
+        f"{ruleset.total_characters} characters"
+    ]
+    for rule in ruleset:
+        rendered = "".join(
+            chr(b) if 0x20 <= b < 0x7F and chr(b) not in '|"' else f"|{b:02X}|"
+            for b in rule.pattern
+        )
+        lines.append(f'sid:{rule.sid}; content:"{rendered}"')
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(ruleset)} rules to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
+    program = compile_ruleset(ruleset, device)
+    row = table2_row(ruleset, device, program=program)
+    print(format_table([row.as_dict()], title=f"compiled {ruleset.name} for {device.family}"))
+    print(f"blocks per group : {program.blocks_per_group}")
+    print(f"packet groups    : {program.packet_groups}")
+    print(f"words per block  : {[block.words_used for block in program.blocks]}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
+    program = compile_ruleset(ruleset, device)
+    accelerator = HardwareAccelerator(program)
+    generator = TrafficGenerator(
+        ruleset,
+        TrafficProfile(mean_payload_bytes=args.payload, attack_probability=args.attack_rate),
+        seed=args.seed + 1,
+    )
+    packets = generator.packets(args.packets)
+    result = accelerator.scan(packets)
+    print(f"scanned {len(packets)} packets ({result.bytes_processed} bytes)")
+    print(f"engine cycles          : {result.engine_cycles}")
+    print(f"bytes per engine cycle : {result.bytes_per_engine_cycle:.3f}")
+    print(f"match events           : {len(result.events)}")
+    print(f"nominal throughput     : {accelerator.nominal_throughput_gbps():.1f} Gbps")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for device in (CYCLONE_III, STRATIX_III):
+        measured = table1_row(device).as_dict()
+        reference = PAPER_TABLE1_REFERENCE[device.family]
+        measured["paper_logic"] = f"{reference['logic_used']:,}"
+        measured["paper_m9k"] = reference["m9k_used"]
+        rows.append(measured)
+    print(format_table(rows, title="Table I — resource utilisation (model vs paper)"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    sizes = TABLE2_STRATIX_SIZES if device is STRATIX_III else TABLE2_CYCLONE_SIZES
+    family = generate_paper_rulesets(seed=args.seed)
+    rows = []
+    for size in sizes:
+        row = table2_row(family[size], device).as_dict()
+        reference = PAPER_TABLE2_REFERENCE[device.family].get(size, {})
+        row["paper_blocks"] = reference.get("blocks", "-")
+        row["paper_speed"] = reference.get("speed_gbps", "-")
+        rows.append(row)
+    print(format_table(rows, title=f"Table II — {device.family}"))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    family = generate_paper_rulesets(seed=args.seed)
+    workload = reduce_to_character_count(family[6275], 19_124, seed=args.seed)
+    rows = [row.as_dict() for row in table3_rows(workload, (CYCLONE_III, STRATIX_III))]
+    print(format_table(rows, title="Table III — comparison at ~19,124 characters"))
+    print()
+    print(format_table(PAPER_TABLE3_REFERENCE, title="Table III — as reported in the paper"))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    family = generate_paper_rulesets(seed=args.seed)
+    for size in sorted(family):
+        histogram = family[size].bucketed_histogram()
+        print(format_histogram(histogram, title=f"Figure 6 — {size} strings"))
+        print()
+    return 0
+
+
+def _power_figure(device, sizes: Sequence[int], seed: int) -> str:
+    family = generate_paper_rulesets(seed=seed)
+    blocks: Dict[str, int] = {}
+    for size in sizes:
+        program = compile_ruleset(family[size], device)
+        blocks[f"{size} strings"] = program.blocks_per_group
+    output: List[str] = []
+    for curve in power_curves(device, blocks):
+        output.append(
+            format_table(
+                curve.points,
+                title=f"{device.family} — {curve.label} ({curve.blocks_per_group} block(s)/group)",
+            )
+        )
+        output.append(
+            ascii_chart(curve.points, "power_watts", "throughput_gbps", label=curve.label)
+        )
+        output.append("")
+    return "\n".join(output)
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    print("Figure 7 — power vs throughput, Cyclone III")
+    print(_power_figure(CYCLONE_III, (500, 1204, 2588), args.seed))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    print("Figure 8 — power vs throughput, Stratix III")
+    print(_power_figure(STRATIX_III, (634, 1603, 2588, 6275), args.seed))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dpi",
+        description="Reproduction of 'Ultra-High Throughput String Matching for DPI' (DATE 2010)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate-ruleset", help="synthesise a Snort-like ruleset")
+    _add_ruleset_arguments(generate)
+    generate.add_argument("--output", help="file to write rules to (stdout if omitted)")
+    generate.set_defaults(handler=_cmd_generate_ruleset)
+
+    compile_parser = subparsers.add_parser("compile", help="compile a ruleset for a device")
+    _add_ruleset_arguments(compile_parser)
+    compile_parser.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
+    compile_parser.set_defaults(handler=_cmd_compile)
+
+    scan = subparsers.add_parser("scan", help="run the hardware model over synthetic traffic")
+    _add_ruleset_arguments(scan)
+    scan.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
+    scan.add_argument("--packets", type=int, default=60)
+    scan.add_argument("--payload", type=int, default=300, help="mean payload bytes")
+    scan.add_argument("--attack-rate", type=float, default=0.3)
+    scan.set_defaults(handler=_cmd_scan)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table I")
+    table1.set_defaults(handler=_cmd_table1)
+
+    table2 = subparsers.add_parser("table2", help="regenerate Table II")
+    table2.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
+    table2.add_argument("--seed", type=int, default=2010)
+    table2.set_defaults(handler=_cmd_table2)
+
+    table3 = subparsers.add_parser("table3", help="regenerate Table III")
+    table3.add_argument("--seed", type=int, default=2010)
+    table3.set_defaults(handler=_cmd_table3)
+
+    fig6 = subparsers.add_parser("fig6", help="regenerate Figure 6")
+    fig6.add_argument("--seed", type=int, default=2010)
+    fig6.set_defaults(handler=_cmd_fig6)
+
+    fig7 = subparsers.add_parser("fig7", help="regenerate Figure 7")
+    fig7.add_argument("--seed", type=int, default=2010)
+    fig7.set_defaults(handler=_cmd_fig7)
+
+    fig8 = subparsers.add_parser("fig8", help="regenerate Figure 8")
+    fig8.add_argument("--seed", type=int, default=2010)
+    fig8.set_defaults(handler=_cmd_fig8)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

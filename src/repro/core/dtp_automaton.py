@@ -1,0 +1,291 @@
+"""The DTP-compressed Aho-Corasick automaton (the paper's core contribution).
+
+Starting from the full move-function DFA, every transition pointer whose
+target is reachable through the default-transition lookup table is removed
+from the per-state pointer list.  The pruning rule, for a transition
+``state --byte--> target``:
+
+* ``depth(target) == 0`` (the root): never stored — the lookup table returns
+  the root when no deeper default applies.
+* ``depth(target) == 1``: never stored — the 256 depth-1 defaults cover every
+  depth-1 state.
+* ``depth(target) == 2``: dropped iff ``target`` is one of the (at most four)
+  depth-2 defaults registered for ``byte``.
+* ``depth(target) == 3``: dropped iff ``target`` is the depth-3 default
+  registered for ``byte``.
+* deeper targets are always stored explicitly.
+
+Why this is safe (the argument the equivalence tests machine-check): in the
+Aho-Corasick DFA the state always corresponds to the longest suffix of the
+input that is a pattern prefix.  A depth-``k`` default for character ``c``
+only fires when the previous ``k-1`` input bytes equal the target's preceding
+characters, i.e. when that depth-``k`` prefix *is* a suffix of the input — in
+which case the true DFA target is at least that deep.  Consequently a default
+can never fire "too deep"; resolution order (3, then 2, then 1) picks the
+deepest stored suffix, and the explicit pointer list retains every case the
+table cannot express.  One character is consumed per lookup, preserving the
+paper's guaranteed-rate property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..automata.aho_corasick import AhoCorasickDFA
+from ..automata.trie import ALPHABET_SIZE, ROOT, Trie
+from .default_transitions import DefaultTransitionTable, build_default_transition_table
+
+MatchList = List[Tuple[int, int]]
+
+#: The hardware string matching engines handle at most 13 pointers per state
+#: (Section IV.A); the packer enforces this limit.
+HARDWARE_MAX_POINTERS = 13
+
+_CHUNK_STATES = 8192  # chunk size for the vectorised pruning pass
+
+
+@dataclass
+class StagedPointerCounts:
+    """Stored-pointer totals for the compression stages of Figure 2 / Table II."""
+
+    num_states: int
+    original: int
+    after_d1: int
+    after_d1_d2: int
+    after_d1_d2_d3: int
+
+    def averages(self) -> Dict[str, float]:
+        n = max(1, self.num_states)
+        return {
+            "original": self.original / n,
+            "after_d1": self.after_d1 / n,
+            "after_d1_d2": self.after_d1_d2 / n,
+            "after_d1_d2_d3": self.after_d1_d2_d3 / n,
+        }
+
+    @property
+    def reduction_percent(self) -> float:
+        if self.original == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.after_d1_d2_d3 / self.original)
+
+
+def _default_membership_arrays(
+    defaults: DefaultTransitionTable, num_states: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Map each state to the byte under which it is registered as a d2/d3 default.
+
+    Returns two int32 arrays of length ``num_states`` holding the byte value
+    or ``-1`` when the state is not a registered default of that depth.
+    """
+    d2_byte = np.full(num_states, -1, dtype=np.int32)
+    for byte, entries in defaults.d2.items():
+        for entry in entries:
+            d2_byte[entry.state] = byte
+    d3_byte = np.full(num_states, -1, dtype=np.int32)
+    for byte, entry in defaults.d3.items():
+        d3_byte[entry.state] = byte
+    return d2_byte, d3_byte
+
+
+def staged_pointer_counts(
+    dfa: AhoCorasickDFA, defaults: DefaultTransitionTable
+) -> StagedPointerCounts:
+    """Count stored pointers before and after each default-insertion stage."""
+    num_states = dfa.num_states
+    d2_byte, d3_byte = _default_membership_arrays(defaults, num_states)
+    d1_row = defaults.d1.astype(np.int64)
+    columns = np.arange(ALPHABET_SIZE, dtype=np.int32)[None, :]
+
+    original = 0
+    after_d1 = 0
+    after_d1_d2 = 0
+    after_all = 0
+    for start in range(0, num_states, _CHUNK_STATES):
+        stop = min(start + _CHUNK_STATES, num_states)
+        block = dfa.table[start:stop]
+        non_root = block != ROOT
+        target_depth = dfa.depth[block]
+        original += int(non_root.sum())
+
+        drop1 = non_root & (target_depth == 1) & (block == d1_row[None, :])
+        keep1 = non_root & ~drop1
+        after_d1 += int(keep1.sum())
+
+        drop2 = keep1 & (target_depth == 2) & (d2_byte[block] == columns)
+        keep2 = keep1 & ~drop2
+        after_d1_d2 += int(keep2.sum())
+
+        drop3 = keep2 & (target_depth == 3) & (d3_byte[block] == columns)
+        after_all += int((keep2 & ~drop3).sum())
+
+    return StagedPointerCounts(
+        num_states=num_states,
+        original=original,
+        after_d1=after_d1,
+        after_d1_d2=after_d1_d2,
+        after_d1_d2_d3=after_all,
+    )
+
+
+class DTPAutomaton:
+    """Software model of the paper's compressed string matching automaton.
+
+    Parameters
+    ----------
+    dfa:
+        The move-function Aho-Corasick automaton to compress.
+    defaults:
+        A pre-built default transition table; built automatically when omitted.
+    d2_slots, include_d2, include_d3:
+        Forwarded to :func:`build_default_transition_table` when ``defaults``
+        is not supplied.
+    """
+
+    def __init__(
+        self,
+        dfa: AhoCorasickDFA,
+        defaults: Optional[DefaultTransitionTable] = None,
+        d2_slots: int = 4,
+        include_d2: bool = True,
+        include_d3: bool = True,
+        max_stored_pointers: Optional[int] = None,
+    ):
+        self.dfa = dfa
+        self.defaults = defaults or build_default_transition_table(
+            dfa,
+            d2_slots=d2_slots,
+            include_d2=include_d2,
+            include_d3=include_d3,
+            max_stored_pointers=max_stored_pointers,
+        )
+        self.outputs = dfa.outputs
+        self.depth = dfa.depth
+        self.num_states = dfa.num_states
+        self.stored: List[Dict[int, int]] = [dict() for _ in range(self.num_states)]
+        self._build_stored_pointers()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_patterns(cls, patterns: Sequence[bytes], **kwargs) -> "DTPAutomaton":
+        return cls(AhoCorasickDFA.from_patterns(patterns), **kwargs)
+
+    @classmethod
+    def from_ruleset(cls, ruleset, **kwargs) -> "DTPAutomaton":
+        """Build from a :class:`repro.rulesets.RuleSet`."""
+        return cls.from_patterns(ruleset.patterns, **kwargs)
+
+    def _build_stored_pointers(self) -> None:
+        dfa = self.dfa
+        defaults = self.defaults
+        num_states = self.num_states
+        d2_byte, d3_byte = _default_membership_arrays(defaults, num_states)
+        d1_row = defaults.d1.astype(np.int64)
+        columns = np.arange(ALPHABET_SIZE, dtype=np.int32)[None, :]
+
+        for start in range(0, num_states, _CHUNK_STATES):
+            stop = min(start + _CHUNK_STATES, num_states)
+            block = dfa.table[start:stop]
+            non_root = block != ROOT
+            target_depth = dfa.depth[block]
+
+            drop = non_root & (target_depth == 1) & (block == d1_row[None, :])
+            drop |= non_root & (target_depth == 2) & (d2_byte[block] == columns)
+            drop |= non_root & (target_depth == 3) & (d3_byte[block] == columns)
+            keep = non_root & ~drop
+
+            rows, cols = np.nonzero(keep)
+            targets = block[rows, cols]
+            stored = self.stored
+            for row, col, target in zip(rows.tolist(), cols.tolist(), targets.tolist()):
+                stored[start + row][col] = target
+
+    # ------------------------------------------------------------------
+    # transition / matching
+    # ------------------------------------------------------------------
+    def step(
+        self, state: int, byte: int, prev1: Optional[int], prev2: Optional[int]
+    ) -> int:
+        """One transition: explicit pointer first, lookup-table default otherwise."""
+        target = self.stored[state].get(byte)
+        if target is not None:
+            return target
+        return self.defaults.resolve(byte, prev1, prev2)
+
+    def match(self, data: bytes) -> MatchList:
+        """Scan one packet payload; history resets at the packet boundary."""
+        matches: MatchList = []
+        state = ROOT
+        prev1: Optional[int] = None
+        prev2: Optional[int] = None
+        outputs = self.outputs
+        for position, byte in enumerate(data):
+            state = self.step(state, byte, prev1, prev2)
+            if outputs[state]:
+                matches.extend((position + 1, pid) for pid in outputs[state])
+            prev2 = prev1
+            prev1 = byte
+        return matches
+
+    def iter_states(self, data: bytes) -> Iterator[int]:
+        """Yield the state after each byte (mirrors ``AhoCorasickDFA.iter_states``)."""
+        state = ROOT
+        prev1: Optional[int] = None
+        prev2: Optional[int] = None
+        for byte in data:
+            state = self.step(state, byte, prev1, prev2)
+            yield state
+            prev2 = prev1
+            prev1 = byte
+
+    def scan_packets(self, payloads: Iterable[bytes]) -> List[MatchList]:
+        """Scan several packets; the automaton state and history reset per packet."""
+        return [self.match(payload) for payload in payloads]
+
+    def verify_equivalence(self, data: bytes) -> bool:
+        """Check state-by-state agreement with the uncompressed DFA on ``data``."""
+        for ours, reference in zip(self.iter_states(data), self.dfa.iter_states(data)):
+            if ours != reference:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # statistics / memory accounting
+    # ------------------------------------------------------------------
+    def stored_pointer_count(self) -> int:
+        return sum(len(pointers) for pointers in self.stored)
+
+    def average_stored_pointers(self) -> float:
+        return self.stored_pointer_count() / self.num_states
+
+    def pointer_count_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for pointers in self.stored:
+            count = len(pointers)
+            histogram[count] = histogram.get(count, 0) + 1
+        return histogram
+
+    def max_pointers_per_state(self) -> int:
+        return max((len(p) for p in self.stored), default=0)
+
+    def states_exceeding(self, limit: int = HARDWARE_MAX_POINTERS) -> List[int]:
+        """State ids whose stored pointer count exceeds the hardware limit."""
+        return [s for s, pointers in enumerate(self.stored) if len(pointers) > limit]
+
+    def staged_counts(self) -> StagedPointerCounts:
+        return staged_pointer_counts(self.dfa, self.defaults)
+
+    def reduction_percent(self) -> float:
+        """Pointer reduction relative to the original move-function automaton."""
+        original = self.dfa.stored_pointer_count()
+        if original == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.stored_pointer_count() / original)
+
+    def matching_states(self) -> List[int]:
+        return [s for s in range(self.num_states) if self.outputs[s]]

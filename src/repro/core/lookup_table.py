@@ -1,0 +1,153 @@
+"""Encoding of the default-transition lookup table (Section IV.B).
+
+The hardware lookup table has 256 words of 49 bits, one word per input
+character value:
+
+* 1 bit  — whether the depth-1 default points to a real depth-1 state (if
+  clear, the depth-1 default is the start state);
+* 4 x 8 bits — the preceding-state character values of up to four depth-2
+  defaults;
+* 2 x 8 bits — the characters of the two states preceding the depth-3
+  default.
+
+Default pointers do not store target addresses: each default points to a
+*fixed address* in state machine memory (the compiler places the default
+target states at reserved, deterministic positions and the per-character
+address map is burned into the engine logic).  This module produces both the
+49-bit word images and that compile-time address map.
+
+A bit-exact hardware realisation also needs to know which of the depth-2/3
+slots are populated; the paper's 49-bit figure does not include explicit
+valid bits (unused slots can be made harmless by pointing their fixed
+addresses at a copy of the depth-1 default state).  We keep validity as
+out-of-band metadata (``d2_valid`` / ``d3_valid``) and report the paper's
+49-bit accounting for comparability; see EXPERIMENTS.md, "known deviations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..automata.trie import ALPHABET_SIZE, ROOT
+from .default_transitions import DefaultTransitionTable
+
+LOOKUP_TABLE_WORDS = ALPHABET_SIZE
+LOOKUP_WORD_BITS = 49
+D2_SLOTS_ENCODED = 4
+
+
+@dataclass
+class EncodedLookupTable:
+    """The 256 x 49-bit lookup table plus the fixed-address map."""
+
+    words: List[int]
+    d2_valid: List[Tuple[bool, bool, bool, bool]]
+    d3_valid: List[bool]
+    #: per-character state ids the fixed addresses refer to
+    d1_state: List[int]
+    d2_states: List[Tuple[Optional[int], ...]]
+    d3_state: List[Optional[int]]
+
+    # ------------------------------------------------------------------
+    def memory_bits(self) -> int:
+        return LOOKUP_TABLE_WORDS * LOOKUP_WORD_BITS
+
+    def memory_bytes(self) -> int:
+        return (self.memory_bits() + 7) // 8
+
+    # ------------------------------------------------------------------
+    def decode_word(self, byte: int) -> Dict[str, object]:
+        """Decode the word for character ``byte`` back into its fields."""
+        word = self.words[byte]
+        d1_valid = bool(word & 1)
+        d2_chars = [(word >> (1 + 8 * slot)) & 0xFF for slot in range(D2_SLOTS_ENCODED)]
+        d3_prev2 = (word >> 33) & 0xFF
+        d3_prev1 = (word >> 41) & 0xFF
+        return {
+            "d1_valid": d1_valid,
+            "d2_preceding": d2_chars,
+            "d3_preceding": (d3_prev2, d3_prev1),
+        }
+
+    def resolve(
+        self, byte: int, prev1: Optional[int], prev2: Optional[int]
+    ) -> int:
+        """Hardware-level default resolution using the encoded words.
+
+        Mirrors :meth:`DefaultTransitionTable.resolve` but goes through the
+        49-bit encoding and the fixed-address map, so tests can prove the
+        encoding lossless for resolution purposes.
+        """
+        fields = self.decode_word(byte)
+        if (
+            self.d3_valid[byte]
+            and prev2 == fields["d3_preceding"][0]
+            and prev1 == fields["d3_preceding"][1]
+        ):
+            state = self.d3_state[byte]
+            assert state is not None
+            return state
+        for slot, preceding in enumerate(fields["d2_preceding"]):
+            if self.d2_valid[byte][slot] and prev1 == preceding:
+                state = self.d2_states[byte][slot]
+                assert state is not None
+                return state
+        if fields["d1_valid"]:
+            return self.d1_state[byte]
+        return ROOT
+
+
+def encode_lookup_table(defaults: DefaultTransitionTable) -> EncodedLookupTable:
+    """Produce the 256 x 49-bit image of ``defaults``."""
+    if defaults.d2_slots > D2_SLOTS_ENCODED:
+        raise ValueError(
+            f"hardware lookup table encodes at most {D2_SLOTS_ENCODED} depth-2 "
+            f"defaults per character, table uses {defaults.d2_slots}"
+        )
+    words: List[int] = []
+    d2_valid: List[Tuple[bool, bool, bool, bool]] = []
+    d3_valid: List[bool] = []
+    d1_state: List[int] = []
+    d2_states: List[Tuple[Optional[int], ...]] = []
+    d3_state: List[Optional[int]] = []
+
+    for byte in range(ALPHABET_SIZE):
+        word = 0
+        depth1 = int(defaults.d1[byte])
+        if depth1 != ROOT:
+            word |= 1
+        d1_state.append(depth1)
+
+        entries = defaults.d2.get(byte, [])
+        valid_flags = [False] * D2_SLOTS_ENCODED
+        slot_states: List[Optional[int]] = [None] * D2_SLOTS_ENCODED
+        for slot, entry in enumerate(entries[:D2_SLOTS_ENCODED]):
+            word |= (entry.preceding_byte & 0xFF) << (1 + 8 * slot)
+            valid_flags[slot] = True
+            slot_states[slot] = entry.state
+        d2_valid.append(tuple(valid_flags))
+        d2_states.append(tuple(slot_states))
+
+        entry3 = defaults.d3.get(byte)
+        if entry3 is not None:
+            word |= (entry3.preceding_bytes[0] & 0xFF) << 33
+            word |= (entry3.preceding_bytes[1] & 0xFF) << 41
+            d3_valid.append(True)
+            d3_state.append(entry3.state)
+        else:
+            d3_valid.append(False)
+            d3_state.append(None)
+
+        if word >= (1 << LOOKUP_WORD_BITS):
+            raise AssertionError("lookup word exceeds 49 bits")
+        words.append(word)
+
+    return EncodedLookupTable(
+        words=words,
+        d2_valid=d2_valid,
+        d3_valid=d3_valid,
+        d1_state=d1_state,
+        d2_states=d2_states,
+        d3_state=d3_state,
+    )

@@ -1,0 +1,146 @@
+"""Matching-string-number memory (Section IV.B).
+
+Each string matching block owns a memory of 2,048 words x 27 bits, separate
+from the state machine memory so that reading out match identifiers never
+stalls packet scanning.  Every word holds two 13-bit string numbers plus one
+bit that marks the final word of a state's match list.  A matching state's
+12 bits of match information are one valid bit plus the 11-bit address of the
+first word of its list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Geometry from the paper.
+MATCH_MEMORY_WORDS = 2048
+MATCH_WORD_BITS = 27
+STRING_NUMBER_BITS = 13
+NUMBERS_PER_WORD = 2
+MATCH_ADDRESS_BITS = 11
+
+#: Sentinel stored in an unused half-word (all ones is never a valid string id
+#: because string numbers are limited to 13 bits minus the sentinel).
+EMPTY_SLOT = (1 << STRING_NUMBER_BITS) - 1
+MAX_STRING_NUMBER = EMPTY_SLOT - 1
+
+
+class MatchMemoryError(ValueError):
+    """Raised when the match lists cannot be encoded in the fixed memory."""
+
+
+@dataclass
+class MatchMemory:
+    """The per-block matching-string-number memory image."""
+
+    words: List[Tuple[int, int, bool]] = field(default_factory=list)
+    #: state id -> first word address of its match list
+    state_address: Dict[int, int] = field(default_factory=dict)
+    capacity_words: int = MATCH_MEMORY_WORDS
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        matches_by_state: Mapping[int, Sequence[int]],
+        capacity_words: int = MATCH_MEMORY_WORDS,
+    ) -> "MatchMemory":
+        """Lay out the match lists of every matching state.
+
+        ``matches_by_state`` maps a state id to the string numbers (rule
+        indices) reported when the state is reached.
+        """
+        memory = cls(capacity_words=capacity_words)
+        for state in sorted(matches_by_state):
+            numbers = list(matches_by_state[state])
+            if not numbers:
+                continue
+            for number in numbers:
+                if not 0 <= number <= MAX_STRING_NUMBER:
+                    raise MatchMemoryError(
+                        f"string number {number} does not fit in "
+                        f"{STRING_NUMBER_BITS} bits (max {MAX_STRING_NUMBER})"
+                    )
+            memory.state_address[state] = len(memory.words)
+            for index in range(0, len(numbers), NUMBERS_PER_WORD):
+                chunk = numbers[index:index + NUMBERS_PER_WORD]
+                first = chunk[0]
+                second = chunk[1] if len(chunk) > 1 else EMPTY_SLOT
+                last = index + NUMBERS_PER_WORD >= len(numbers)
+                memory.words.append((first, second, last))
+        if len(memory.words) > memory.capacity_words:
+            raise MatchMemoryError(
+                f"match lists need {len(memory.words)} words but the memory "
+                f"holds only {memory.capacity_words}"
+            )
+        if memory.words and len(memory.words) - 1 >= (1 << MATCH_ADDRESS_BITS):
+            raise MatchMemoryError(
+                f"match memory addresses exceed {MATCH_ADDRESS_BITS} bits"
+            )
+        return memory
+
+    # ------------------------------------------------------------------
+    # queries (what the match scheduler does in hardware)
+    # ------------------------------------------------------------------
+    def read_list(self, address: int) -> List[int]:
+        """Read string numbers starting at ``address`` until the stop bit."""
+        if not 0 <= address < len(self.words):
+            raise IndexError(f"match memory address {address} out of range")
+        numbers: List[int] = []
+        cursor = address
+        while True:
+            first, second, last = self.words[cursor]
+            numbers.append(first)
+            if second != EMPTY_SLOT:
+                numbers.append(second)
+            if last:
+                return numbers
+            cursor += 1
+
+    def words_read(self, address: int) -> int:
+        """Number of memory reads the scheduler issues for the list at ``address``."""
+        count = 0
+        cursor = address
+        while True:
+            count += 1
+            if self.words[cursor][2]:
+                return count
+            cursor += 1
+
+    def address_of(self, state: int) -> Optional[int]:
+        return self.state_address.get(state)
+
+    # ------------------------------------------------------------------
+    # memory accounting / encoding
+    # ------------------------------------------------------------------
+    @property
+    def used_words(self) -> int:
+        return len(self.words)
+
+    def utilisation(self) -> float:
+        return self.used_words / self.capacity_words if self.capacity_words else 0.0
+
+    def memory_bits(self, count_full_capacity: bool = True) -> int:
+        """Footprint in bits; the paper reserves the full 2,048-word memory."""
+        words = self.capacity_words if count_full_capacity else self.used_words
+        return words * MATCH_WORD_BITS
+
+    def memory_bytes(self, count_full_capacity: bool = True) -> int:
+        return (self.memory_bits(count_full_capacity) + 7) // 8
+
+    def encode_words(self) -> List[int]:
+        """Bit-exact 27-bit word images (low 13 bits: first id, next 13: second, MSB: stop)."""
+        images: List[int] = []
+        for first, second, last in self.words:
+            images.append(first | (second << STRING_NUMBER_BITS) | (int(last) << 26))
+        return images
+
+    @staticmethod
+    def decode_word(image: int) -> Tuple[int, int, bool]:
+        first = image & ((1 << STRING_NUMBER_BITS) - 1)
+        second = (image >> STRING_NUMBER_BITS) & ((1 << STRING_NUMBER_BITS) - 1)
+        last = bool((image >> 26) & 1)
+        return first, second, last

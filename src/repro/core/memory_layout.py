@@ -1,0 +1,378 @@
+"""Packing the compressed state machine into 324-bit memory words (Section IV.A).
+
+States are classified into the 15 state types of :mod:`repro.core.state_types`
+and assigned to memory words so that no slot is wasted inside a word (the
+paper: "a state machine's states are carefully assigned a state type and
+memory word after it has been built to insure no gaps of unused memory").
+
+Each stored state consists of 12 bits of match information followed by its
+transition pointers; a pointer is 24 bits — the 8-bit character needed to
+follow it, the 12-bit word address of the target and the 4-bit type of the
+target (the type encodes both the target's size class and its slot position,
+so word address + type fully locate it).
+
+The packer places *default target states* (the states the lookup table's
+fixed addresses refer to) first, in a canonical order, so their addresses are
+deterministic — this is what lets the hardware omit addresses from the
+49-bit lookup-table words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..automata.trie import ROOT
+from .dtp_automaton import DTPAutomaton
+from .match_memory import MatchMemory
+from .state_types import (
+    ADDRESS_BITS,
+    CHAR_BITS,
+    MATCH_INFO_BITS,
+    POINTER_BITS,
+    SLOT_BITS,
+    SLOTS_PER_WORD,
+    TYPE_BITS,
+    WORD_BITS,
+    StateType,
+    slots_for_pointer_count,
+    type_for_placement,
+)
+
+
+class PackingError(ValueError):
+    """Raised when the state machine cannot be packed into the target memory."""
+
+
+@dataclass
+class StateRecord:
+    """Everything that must be stored for one state."""
+
+    state_id: int
+    pointers: List[Tuple[int, int]]          # (character, target state id)
+    match_address: Optional[int] = None      # address in the match memory
+
+    @property
+    def num_pointers(self) -> int:
+        return len(self.pointers)
+
+    @property
+    def slots(self) -> int:
+        return slots_for_pointer_count(self.num_pointers)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a state lives: memory word plus state type (word position)."""
+
+    word_index: int
+    state_type: StateType
+
+    @property
+    def address(self) -> int:
+        return self.word_index
+
+    @property
+    def type_id(self) -> int:
+        return self.state_type.type_id
+
+
+@dataclass
+class PackedStateMachine:
+    """The packed image of one string matching block's state machine."""
+
+    records: Dict[int, StateRecord]
+    placements: Dict[int, Placement]
+    num_words: int
+    capacity_words: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def placement_of(self, state_id: int) -> Placement:
+        return self.placements[state_id]
+
+    def address_of(self, state_id: int) -> Tuple[int, int]:
+        """(word address, type id) — what a transition pointer stores."""
+        placement = self.placements[state_id]
+        return placement.word_index, placement.type_id
+
+    def states_in_word(self, word_index: int) -> List[int]:
+        return [s for s, p in self.placements.items() if p.word_index == word_index]
+
+    # ------------------------------------------------------------------
+    # utilisation / accounting
+    # ------------------------------------------------------------------
+    def used_slots(self) -> int:
+        return sum(self.placements[s].state_type.slots for s in self.placements)
+
+    def slot_utilisation(self) -> float:
+        total = self.num_words * SLOTS_PER_WORD
+        return self.used_slots() / total if total else 0.0
+
+    def memory_bits(self) -> int:
+        """Bits of state-machine memory actually used (words x 324)."""
+        return self.num_words * WORD_BITS
+
+    def memory_bytes(self) -> int:
+        return (self.memory_bits() + 7) // 8
+
+    def fits(self, capacity_words: int) -> bool:
+        return self.num_words <= capacity_words
+
+    def type_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for placement in self.placements.values():
+            histogram[placement.type_id] = histogram.get(placement.type_id, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # bit-level encoding
+    # ------------------------------------------------------------------
+    def encode_state(self, record: StateRecord, pad_lookup=None) -> int:
+        """Encode one state into the low bits of its slot span.
+
+        Unused pointer slots are padded with a *redundant but correct* pointer
+        (``pad_lookup(state, char)`` must return the true next state for any
+        character) so the hardware comparators can treat every slot as live;
+        when no pad lookup is supplied, unused slots repeat the first stored
+        pointer or, for pointer-less states, are left zeroed.
+        """
+        placement = self.placements[record.state_id]
+        capacity = placement.state_type.max_pointers
+        value = 0
+        if record.match_address is not None:
+            value |= 1
+            value |= (record.match_address & ((1 << (MATCH_INFO_BITS - 1)) - 1)) << 1
+
+        pointers = list(record.pointers)
+        while len(pointers) < capacity:
+            if pointers:
+                pointers.append(pointers[0])
+            elif pad_lookup is not None:
+                pad_char = 0
+                pointers.append((pad_char, pad_lookup(record.state_id, pad_char)))
+            else:
+                break
+        for index, (char, target) in enumerate(pointers[:capacity]):
+            word_address, type_id = self.address_of(target)
+            if word_address >= (1 << ADDRESS_BITS):
+                raise PackingError(
+                    f"word address {word_address} does not fit in {ADDRESS_BITS} bits"
+                )
+            pointer_bits = (
+                (char & 0xFF)
+                | (word_address << CHAR_BITS)
+                | (type_id << (CHAR_BITS + ADDRESS_BITS))
+            )
+            value |= pointer_bits << (MATCH_INFO_BITS + index * POINTER_BITS)
+        return value
+
+    def encode_words(self, pad_lookup=None) -> List[int]:
+        """Produce the 324-bit word images for the whole state machine."""
+        words = [0] * self.num_words
+        for state_id, record in self.records.items():
+            placement = self.placements[state_id]
+            encoded = self.encode_state(record, pad_lookup=pad_lookup)
+            words[placement.word_index] |= encoded << placement.state_type.bit_offset
+        for image in words:
+            if image >= (1 << WORD_BITS):
+                raise PackingError("encoded word exceeds 324 bits")
+        return words
+
+    def decode_state(self, words: Sequence[int], state_id: int) -> Dict[str, object]:
+        """Decode a state from word images (used by tests and the HW model)."""
+        placement = self.placements[state_id]
+        raw = (words[placement.word_index] >> placement.state_type.bit_offset) & (
+            (1 << placement.state_type.width_bits) - 1
+        )
+        has_match = bool(raw & 1)
+        match_address = (raw >> 1) & ((1 << (MATCH_INFO_BITS - 1)) - 1)
+        pointers: List[Tuple[int, int, int]] = []
+        capacity = placement.state_type.max_pointers
+        for index in range(capacity):
+            chunk = (raw >> (MATCH_INFO_BITS + index * POINTER_BITS)) & (
+                (1 << POINTER_BITS) - 1
+            )
+            char = chunk & 0xFF
+            address = (chunk >> CHAR_BITS) & ((1 << ADDRESS_BITS) - 1)
+            type_id = chunk >> (CHAR_BITS + ADDRESS_BITS)
+            if chunk != 0 or (index == 0 and capacity > 0):
+                pointers.append((char, address, type_id))
+        return {
+            "has_match": has_match,
+            "match_address": match_address if has_match else None,
+            "pointers": pointers,
+        }
+
+
+# ----------------------------------------------------------------------
+# packing algorithm
+# ----------------------------------------------------------------------
+@dataclass
+class _OpenWord:
+    """A partially filled word during packing."""
+
+    index: int
+    free_slots: List[int] = field(default_factory=lambda: list(range(SLOTS_PER_WORD)))
+
+
+class _Packer:
+    """Greedy, deterministic, gap-free word packer."""
+
+    def __init__(self) -> None:
+        self.placements: Dict[int, Placement] = {}
+        self.next_word = 0
+
+    def _new_word(self) -> int:
+        word = self.next_word
+        self.next_word += 1
+        return word
+
+    def pack_group(self, group: Sequence[StateRecord]) -> None:
+        """Pack ``group`` into fresh words (words are not shared across groups)."""
+        by_slots: Dict[int, List[StateRecord]] = {1: [], 3: [], 5: [], 7: [], 9: []}
+        for record in group:
+            by_slots[record.slots].append(record)
+
+        singles = by_slots[1]
+
+        def take_singles(count: int, word: int, start_slot: int) -> None:
+            for offset in range(count):
+                if not singles:
+                    return
+                record = singles.pop(0)
+                self._place(record, word, 1, start_slot + offset)
+
+        for record in by_slots[9]:
+            word = self._new_word()
+            self._place(record, word, 9, 0)
+
+        for record in by_slots[7]:
+            word = self._new_word()
+            self._place(record, word, 7, 0)
+            take_singles(2, word, 7)
+
+        threes = by_slots[3]
+        for record in by_slots[5]:
+            word = self._new_word()
+            self._place(record, word, 5, 0)
+            if threes:
+                other = threes.pop(0)
+                self._place(other, word, 3, 6)
+                take_singles(1, word, 5)
+            else:
+                take_singles(4, word, 5)
+
+        while threes:
+            word = self._new_word()
+            for start in (0, 3, 6):
+                if threes:
+                    record = threes.pop(0)
+                    self._place(record, word, 3, start)
+                else:
+                    take_singles(3, word, start)
+
+        while singles:
+            word = self._new_word()
+            take_singles(SLOTS_PER_WORD, word, 0)
+
+    def _place(self, record: StateRecord, word: int, slots: int, start_slot: int) -> None:
+        state_type = type_for_placement(slots, start_slot)
+        self.placements[record.state_id] = Placement(word_index=word, state_type=state_type)
+
+
+def build_state_records(
+    dtp: DTPAutomaton, match_memory: Optional[MatchMemory] = None
+) -> List[StateRecord]:
+    """Turn a DTP automaton (plus its match memory) into packable records."""
+    records: List[StateRecord] = []
+    for state_id in range(dtp.num_states):
+        pointers = sorted(dtp.stored[state_id].items())
+        match_address = None
+        if match_memory is not None:
+            match_address = match_memory.address_of(state_id)
+        records.append(
+            StateRecord(
+                state_id=state_id,
+                pointers=[(char, target) for char, target in pointers],
+                match_address=match_address,
+            )
+        )
+    return records
+
+
+def default_target_order(dtp: DTPAutomaton) -> List[int]:
+    """Canonical ordering of default-target states for fixed addressing.
+
+    Depth-1 targets in character order, then depth-2 targets in (character,
+    slot) order, then depth-3 targets in character order, then the root.
+    A state appearing in several roles keeps its first position.
+    """
+    order: List[int] = []
+    seen = set()
+
+    def push(state: Optional[int]) -> None:
+        if state is None or state in seen or state == ROOT:
+            return
+        seen.add(state)
+        order.append(state)
+
+    defaults = dtp.defaults
+    for byte in range(len(defaults.d1)):
+        state = int(defaults.d1[byte])
+        if state != ROOT:
+            push(state)
+    for byte in sorted(defaults.d2):
+        for entry in defaults.d2[byte]:
+            push(entry.state)
+    for byte in sorted(defaults.d3):
+        push(defaults.d3[byte].state)
+    return [ROOT] + order
+
+
+def pack_state_machine(
+    dtp: DTPAutomaton,
+    match_memory: Optional[MatchMemory] = None,
+    capacity_words: Optional[int] = None,
+) -> PackedStateMachine:
+    """Pack the whole automaton; raises :class:`PackingError` when it cannot fit.
+
+    The root and every default-target state are packed first (fixed-address
+    region); the remaining states follow in state-id order.
+    """
+    records = build_state_records(dtp, match_memory)
+    record_by_id = {record.state_id: record for record in records}
+
+    for record in records:
+        if record.num_pointers > 13:
+            raise PackingError(
+                f"state {record.state_id} stores {record.num_pointers} pointers; "
+                "the hardware handles at most 13 (Section IV.A)"
+            )
+
+    priority = default_target_order(dtp)
+    priority_set = set(priority)
+    rest = [record for record in records if record.state_id not in priority_set]
+
+    packer = _Packer()
+    packer.pack_group([record_by_id[s] for s in priority])
+    packer.pack_group(rest)
+
+    packed = PackedStateMachine(
+        records=record_by_id,
+        placements=packer.placements,
+        num_words=packer.next_word,
+        capacity_words=capacity_words,
+    )
+    if capacity_words is not None and packed.num_words > capacity_words:
+        raise PackingError(
+            f"state machine needs {packed.num_words} words but the block memory "
+            f"holds only {capacity_words}"
+        )
+    if packed.num_words > (1 << ADDRESS_BITS):
+        raise PackingError(
+            f"state machine needs {packed.num_words} words; addresses are "
+            f"{ADDRESS_BITS} bits (max {1 << ADDRESS_BITS})"
+        )
+    return packed

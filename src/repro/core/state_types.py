@@ -1,0 +1,144 @@
+"""The 15 state types of Figure 3.
+
+A 324-bit memory word is divided into nine 36-bit slots.  A state occupies
+1, 3, 5, 7 or 9 consecutive slots depending on how many transition pointers
+it stores (each pointer is 24 bits and every state carries 12 bits of match
+information, so a ``k``-slot state holds up to ``(36*k - 12) / 24`` pointers):
+
+====================  ==========  ===============  ==================
+state types           slots used  pointers stored  allowed start slot
+====================  ==========  ===============  ==================
+1 – 9                 1           0 – 1            0, 1, ..., 8
+10 – 12               3           2 – 4            0, 3, 6
+13                    5           5 – 7            0
+14                    7           8 – 10           0
+15                    9           11 – 13          0
+====================  ==========  ===============  ==================
+
+The *type* of a state therefore encodes both its size class and its position
+inside the memory word, which is why a transition pointer only needs the
+12-bit word address plus the 4-bit type to locate the target state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Bit widths of the hardware memory layout (Section IV.A).
+WORD_BITS = 324
+SLOT_BITS = 36
+SLOTS_PER_WORD = WORD_BITS // SLOT_BITS  # 9
+POINTER_BITS = 24
+MATCH_INFO_BITS = 12
+CHAR_BITS = 8
+ADDRESS_BITS = 12
+TYPE_BITS = 4
+
+#: Size classes: slots used -> (min pointers, max pointers).
+SIZE_CLASSES: Dict[int, Tuple[int, int]] = {
+    1: (0, 1),
+    3: (2, 4),
+    5: (5, 7),
+    7: (8, 10),
+    9: (11, 13),
+}
+
+#: The hardware limit on pointers per state (a 9-slot state fills the word).
+MAX_POINTERS_PER_STATE = SIZE_CLASSES[9][1]
+
+
+@dataclass(frozen=True)
+class StateType:
+    """One of the 15 state types: a (size class, word position) pair."""
+
+    type_id: int
+    slots: int
+    start_slot: int
+
+    @property
+    def width_bits(self) -> int:
+        return self.slots * SLOT_BITS
+
+    @property
+    def bit_offset(self) -> int:
+        """Offset of the state's least significant bit inside the word."""
+        return self.start_slot * SLOT_BITS
+
+    @property
+    def max_pointers(self) -> int:
+        return SIZE_CLASSES[self.slots][1]
+
+    @property
+    def min_pointers(self) -> int:
+        return SIZE_CLASSES[self.slots][0]
+
+    def slot_range(self) -> range:
+        return range(self.start_slot, self.start_slot + self.slots)
+
+
+def _build_state_types() -> Tuple[StateType, ...]:
+    types: List[StateType] = []
+    type_id = 1
+    for start in range(SLOTS_PER_WORD):                 # types 1-9
+        types.append(StateType(type_id, 1, start))
+        type_id += 1
+    for start in (0, 3, 6):                             # types 10-12
+        types.append(StateType(type_id, 3, start))
+        type_id += 1
+    for slots in (5, 7, 9):                             # types 13-15
+        types.append(StateType(type_id, slots, 0))
+        type_id += 1
+    return tuple(types)
+
+
+#: All 15 state types, indexed by ``type_id - 1``.
+STATE_TYPES: Tuple[StateType, ...] = _build_state_types()
+
+#: Lookup from (slots, start_slot) to the state type.
+_TYPE_BY_PLACEMENT: Dict[Tuple[int, int], StateType] = {
+    (t.slots, t.start_slot): t for t in STATE_TYPES
+}
+
+
+def state_type(type_id: int) -> StateType:
+    """Return the :class:`StateType` for a 1-based type id."""
+    if not 1 <= type_id <= len(STATE_TYPES):
+        raise ValueError(f"type_id must be in 1..{len(STATE_TYPES)}, got {type_id}")
+    return STATE_TYPES[type_id - 1]
+
+
+def type_for_placement(slots: int, start_slot: int) -> StateType:
+    """Return the state type that stores a ``slots``-slot state at ``start_slot``."""
+    try:
+        return _TYPE_BY_PLACEMENT[(slots, start_slot)]
+    except KeyError as exc:
+        raise ValueError(
+            f"no state type stores a {slots}-slot state at slot {start_slot}"
+        ) from exc
+
+
+def slots_for_pointer_count(num_pointers: int) -> int:
+    """Slots needed for a state with ``num_pointers`` transition pointers."""
+    if num_pointers < 0:
+        raise ValueError("num_pointers must be non-negative")
+    for slots in sorted(SIZE_CLASSES):
+        low, high = SIZE_CLASSES[slots]
+        if num_pointers <= high:
+            return slots
+    raise ValueError(
+        f"state with {num_pointers} pointers exceeds the hardware limit of "
+        f"{MAX_POINTERS_PER_STATE} pointers per state"
+    )
+
+
+def pointer_capacity(slots: int) -> int:
+    """Maximum pointers a ``slots``-slot state can hold."""
+    if slots not in SIZE_CLASSES:
+        raise ValueError(f"invalid slot count {slots}")
+    return SIZE_CLASSES[slots][1]
+
+
+def allowed_start_slots(slots: int) -> List[int]:
+    """Word positions at which a ``slots``-slot state may be placed."""
+    return sorted(t.start_slot for t in STATE_TYPES if t.slots == slots)

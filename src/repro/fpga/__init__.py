@@ -1,0 +1,52 @@
+"""FPGA device, resource, power and throughput models."""
+
+from .devices import CYCLONE_III, DEVICES, M9K, STRATIX_III, BlockRAMGeometry, FPGADevice, get_device
+from .power import PowerModel, PowerPoint
+from .resources import (
+    MemorySpec,
+    ResourceEstimate,
+    block_memories,
+    block_rams_for_memory,
+    estimate_resources,
+    max_blocks_that_fit,
+)
+from .throughput import (
+    BITS_PER_CYCLE_PER_BLOCK,
+    OC192_GBPS,
+    OC768_GBPS,
+    ThroughputPoint,
+    accelerator_throughput_gbps,
+    block_throughput_gbps,
+    device_throughput,
+    engine_throughput_gbps,
+    line_rates_met,
+    scan_time_seconds,
+)
+
+__all__ = [
+    "CYCLONE_III",
+    "STRATIX_III",
+    "DEVICES",
+    "M9K",
+    "BlockRAMGeometry",
+    "FPGADevice",
+    "get_device",
+    "PowerModel",
+    "PowerPoint",
+    "MemorySpec",
+    "ResourceEstimate",
+    "block_memories",
+    "block_rams_for_memory",
+    "estimate_resources",
+    "max_blocks_that_fit",
+    "BITS_PER_CYCLE_PER_BLOCK",
+    "OC192_GBPS",
+    "OC768_GBPS",
+    "ThroughputPoint",
+    "accelerator_throughput_gbps",
+    "block_throughput_gbps",
+    "device_throughput",
+    "engine_throughput_gbps",
+    "line_rates_met",
+    "scan_time_seconds",
+]

@@ -1,0 +1,121 @@
+"""Power model (reproduces Figures 7 and 8).
+
+The paper measured power with Quartus PowerPlay driven by ModelSim VCD
+traces while sweeping the accelerator clock.  An FPGA's power at fixed
+voltage decomposes into a static term and a dynamic term proportional to
+clock frequency and the amount of switching logic, so we model
+
+    P(f) = P_static + k_dyn * f * active_blocks
+
+with ``P_static`` and ``k_dyn`` calibrated per device to the paper's peak
+operating points (2.78 W for Cyclone III at 233.15 MHz with 4 blocks,
+13.28 W for Stratix III at 460.19 MHz with 6 blocks).  Sweeping ``f`` then
+yields the power-vs-throughput lines of Figures 7 and 8: every ruleset sees
+the same power at a given clock, but the achievable *throughput* differs by
+the number of block groups, which is what fans the curves out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .devices import FPGADevice
+from .throughput import accelerator_throughput_gbps
+
+
+@dataclass(frozen=True)
+class PowerPoint:
+    """One (clock, power, throughput) sample of the sweep."""
+
+    memory_clock_mhz: float
+    power_watts: float
+    throughput_gbps: float
+
+
+class PowerModel:
+    """Static + dynamic power model for one device."""
+
+    def __init__(
+        self,
+        device: FPGADevice,
+        static_watts: Optional[float] = None,
+        dynamic_watts_per_mhz_per_block: Optional[float] = None,
+    ):
+        self.device = device
+        self.static_watts = (
+            device.static_power_watts if static_watts is None else static_watts
+        )
+        self.dynamic_coefficient = (
+            device.dynamic_watts_per_mhz_per_block
+            if dynamic_watts_per_mhz_per_block is None
+            else dynamic_watts_per_mhz_per_block
+        )
+        if self.static_watts < 0 or self.dynamic_coefficient < 0:
+            raise ValueError("power coefficients must be non-negative")
+
+    def power_watts(
+        self, memory_clock_mhz: float, active_blocks: Optional[int] = None
+    ) -> float:
+        """Power at ``memory_clock_mhz`` with ``active_blocks`` blocks toggling."""
+        if memory_clock_mhz < 0:
+            raise ValueError("memory_clock_mhz must be non-negative")
+        blocks = (
+            self.device.num_matching_blocks if active_blocks is None else active_blocks
+        )
+        if blocks < 0 or blocks > self.device.num_matching_blocks:
+            raise ValueError(
+                f"active_blocks must be between 0 and {self.device.num_matching_blocks}"
+            )
+        return self.static_watts + self.dynamic_coefficient * memory_clock_mhz * blocks
+
+    def peak_power_watts(self) -> float:
+        return self.power_watts(self.device.memory_fmax_mhz)
+
+    def sweep(
+        self,
+        blocks_per_group: int,
+        num_points: int = 12,
+        max_clock_mhz: Optional[float] = None,
+        active_blocks: Optional[int] = None,
+    ) -> List[PowerPoint]:
+        """Power/throughput samples from 0 to the maximum memory clock.
+
+        ``blocks_per_group`` is the number of blocks the ruleset occupies,
+        which sets the throughput achieved at each clock frequency.
+        """
+        if num_points < 2:
+            raise ValueError("num_points must be at least 2")
+        top = self.device.memory_fmax_mhz if max_clock_mhz is None else max_clock_mhz
+        points: List[PowerPoint] = []
+        for index in range(num_points):
+            clock = top * index / (num_points - 1)
+            throughput = (
+                accelerator_throughput_gbps(
+                    clock, self.device.num_matching_blocks, blocks_per_group
+                )
+                if clock > 0
+                else 0.0
+            )
+            points.append(
+                PowerPoint(
+                    memory_clock_mhz=clock,
+                    power_watts=self.power_watts(clock, active_blocks),
+                    throughput_gbps=throughput,
+                )
+            )
+        return points
+
+    def energy_per_bit_nanojoules(self, blocks_per_group: int) -> float:
+        """Energy efficiency at the peak operating point (nJ per payload bit)."""
+        throughput_bps = (
+            accelerator_throughput_gbps(
+                self.device.memory_fmax_mhz,
+                self.device.num_matching_blocks,
+                blocks_per_group,
+            )
+            * 1e9
+        )
+        if throughput_bps == 0:
+            return float("inf")
+        return self.peak_power_watts() / throughput_bps * 1e9

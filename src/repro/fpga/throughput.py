@@ -1,0 +1,102 @@
+"""Throughput model (Sections IV.B and V.C).
+
+Each string matching block contains six engines, each consuming one payload
+byte per engine clock cycle; engines run at one third of the memory clock, so
+a block processes ``6 * 8 * fmax / 3 = 16 * fmax`` bits per second — the
+"16 x fmax" law quoted in the paper.
+
+When a ruleset needs ``g`` blocks to hold its state machines, those ``g``
+blocks scan the same packets together, so only ``total_blocks // g``
+independent packet streams run concurrently and the aggregate throughput is
+``(total_blocks // g) * 16 * fmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .devices import FPGADevice
+
+#: bits of payload processed per memory-clock cycle by one block
+BITS_PER_CYCLE_PER_BLOCK = 16
+
+
+def block_throughput_gbps(memory_fmax_mhz: float) -> float:
+    """Throughput of a single string matching block in Gbit/s."""
+    if memory_fmax_mhz <= 0:
+        raise ValueError("memory_fmax_mhz must be positive")
+    return BITS_PER_CYCLE_PER_BLOCK * memory_fmax_mhz * 1e6 / 1e9
+
+
+def accelerator_throughput_gbps(
+    memory_fmax_mhz: float, total_blocks: int, blocks_per_group: int
+) -> float:
+    """Aggregate throughput when the ruleset occupies ``blocks_per_group`` blocks."""
+    if total_blocks <= 0 or blocks_per_group <= 0:
+        raise ValueError("block counts must be positive")
+    if blocks_per_group > total_blocks:
+        raise ValueError(
+            f"ruleset needs {blocks_per_group} blocks but the device has only {total_blocks}"
+        )
+    groups = total_blocks // blocks_per_group
+    return groups * block_throughput_gbps(memory_fmax_mhz)
+
+
+def engine_throughput_gbps(memory_fmax_mhz: float) -> float:
+    """Throughput of one engine (one byte per engine cycle, engine at fmax/3)."""
+    return 8 * (memory_fmax_mhz / 3.0) * 1e6 / 1e9
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One operating point of the accelerator."""
+
+    memory_clock_mhz: float
+    blocks_per_group: int
+    total_blocks: int
+
+    @property
+    def packet_groups(self) -> int:
+        return self.total_blocks // self.blocks_per_group
+
+    @property
+    def throughput_gbps(self) -> float:
+        return accelerator_throughput_gbps(
+            self.memory_clock_mhz, self.total_blocks, self.blocks_per_group
+        )
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.throughput_gbps * 1e9 / 8.0
+
+
+def device_throughput(device: FPGADevice, blocks_per_group: int) -> ThroughputPoint:
+    """Operating point of ``device`` at its maximum memory clock."""
+    return ThroughputPoint(
+        memory_clock_mhz=device.memory_fmax_mhz,
+        blocks_per_group=blocks_per_group,
+        total_blocks=device.num_matching_blocks,
+    )
+
+
+def scan_time_seconds(payload_bytes: int, point: ThroughputPoint) -> float:
+    """Time to stream ``payload_bytes`` through the accelerator."""
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    return payload_bytes / point.bytes_per_second if payload_bytes else 0.0
+
+
+#: Line rates the paper positions itself against (Section I / abstract).
+OC192_GBPS = 10.0
+OC768_GBPS = 40.0
+
+
+def line_rates_met(point: ThroughputPoint) -> List[str]:
+    """Which reference line rates the operating point sustains."""
+    rates = []
+    if point.throughput_gbps >= OC192_GBPS:
+        rates.append("OC-192")
+    if point.throughput_gbps >= OC768_GBPS:
+        rates.append("OC-768")
+    return rates

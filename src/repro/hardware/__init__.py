@@ -1,0 +1,29 @@
+"""Cycle-level hardware architecture simulation (engines, blocks, accelerator)."""
+
+from .accelerator import AcceleratorScanResult, HardwareAccelerator
+from .block import ENGINES_PER_BLOCK, ENGINES_PER_PORT, BlockScanResult, StringMatchingBlock
+from .engine import EngineMatch, EngineStatistics, StringMatchingEngine
+from .image import BlockImage, LookupEntry, StateEntry, build_block_image
+from .memory import DualPortMemory, PortOversubscribedError, PortStatistics
+from .scheduler import MatchScheduler, SchedulerStatistics
+
+__all__ = [
+    "AcceleratorScanResult",
+    "HardwareAccelerator",
+    "ENGINES_PER_BLOCK",
+    "ENGINES_PER_PORT",
+    "BlockScanResult",
+    "StringMatchingBlock",
+    "EngineMatch",
+    "EngineStatistics",
+    "StringMatchingEngine",
+    "BlockImage",
+    "LookupEntry",
+    "StateEntry",
+    "build_block_image",
+    "DualPortMemory",
+    "PortOversubscribedError",
+    "PortStatistics",
+    "MatchScheduler",
+    "SchedulerStatistics",
+]

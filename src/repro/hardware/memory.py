@@ -1,0 +1,102 @@
+"""Memory models for the hardware simulation.
+
+The string matching block uses true dual-port memories running at three times
+the engine clock; three engines share each port, so every engine is
+guaranteed one read per engine cycle on its port and the read data returns on
+the following engine cycle (Section IV.B).  The model tracks per-cycle access
+counts so tests can assert that the architecture never needs more bandwidth
+than the time-multiplexed port provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+Key = TypeVar("Key", bound=Hashable)
+Value = TypeVar("Value")
+
+
+class PortOversubscribedError(RuntimeError):
+    """Raised when more engines read a port in one cycle than it can serve."""
+
+
+@dataclass
+class PortStatistics:
+    """Access accounting for one memory port."""
+
+    reads: int = 0
+    busiest_cycle: int = 0
+    max_reads_in_cycle: int = 0
+
+
+class DualPortMemory(Generic[Key, Value]):
+    """A keyed true dual-port memory with per-engine-cycle bandwidth limits.
+
+    ``reads_per_cycle_per_port`` is 3 in the paper's architecture (memory
+    clock = 3 x engine clock).  The content is stored as a dictionary so the
+    same class serves the 324-bit state machine memory (keyed by
+    (word, type)), the lookup table (keyed by character) and the match-number
+    memory (keyed by address).
+    """
+
+    def __init__(
+        self,
+        contents: Dict[Key, Value],
+        name: str = "memory",
+        reads_per_cycle_per_port: int = 3,
+        ports: int = 2,
+    ):
+        if reads_per_cycle_per_port < 1:
+            raise ValueError("reads_per_cycle_per_port must be positive")
+        if ports < 1:
+            raise ValueError("ports must be positive")
+        self.name = name
+        self._contents = dict(contents)
+        self.reads_per_cycle_per_port = reads_per_cycle_per_port
+        self.ports = ports
+        self._cycle_reads: Dict[Tuple[int, int], int] = {}
+        self.port_stats: List[PortStatistics] = [PortStatistics() for _ in range(ports)]
+
+    def __len__(self) -> int:
+        return len(self._contents)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._contents
+
+    def read(self, key: Key, port: int, cycle: int) -> Value:
+        """Read ``key`` through ``port`` during engine ``cycle``."""
+        if not 0 <= port < self.ports:
+            raise ValueError(f"{self.name}: invalid port {port}")
+        slot = (port, cycle)
+        used = self._cycle_reads.get(slot, 0)
+        if used >= self.reads_per_cycle_per_port:
+            raise PortOversubscribedError(
+                f"{self.name}: port {port} already served {used} reads in cycle "
+                f"{cycle} (limit {self.reads_per_cycle_per_port})"
+            )
+        self._cycle_reads[slot] = used + 1
+        stats = self.port_stats[port]
+        stats.reads += 1
+        if used + 1 > stats.max_reads_in_cycle:
+            stats.max_reads_in_cycle = used + 1
+            stats.busiest_cycle = cycle
+        try:
+            return self._contents[key]
+        except KeyError as exc:
+            raise KeyError(f"{self.name}: no word at {key!r}") from exc
+
+    def write(self, key: Key, value: Value) -> None:
+        """Configuration-time write (rule updates); not bandwidth limited."""
+        self._contents[key] = value
+
+    def reset_cycle_tracking(self) -> None:
+        """Start a new scan: cycle numbering restarts at zero.
+
+        Cumulative read statistics are preserved; only the per-cycle
+        bandwidth accounting is cleared.
+        """
+        self._cycle_reads.clear()
+
+    def total_reads(self) -> int:
+        return sum(stats.reads for stats in self.port_stats)

@@ -1,0 +1,89 @@
+"""Match scheduler model (Section IV.B).
+
+Engines only signal "a matching state was entered" together with the address
+of its matching-string-number list; turning that into actual string numbers
+is the job of the match scheduler, which owns the second port's worth of
+bandwidth into the match-number memory.  It buffers pending match addresses
+(the paper's buffer covers the three engines sharing a port), then walks each
+list one word per memory cycle until the stop bit, emitting two string
+numbers per word.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.match_memory import EMPTY_SLOT
+from ..traffic.packet import MatchEvent
+from .engine import EngineMatch
+
+
+@dataclass
+class SchedulerStatistics:
+    matches_buffered: int = 0
+    words_read: int = 0
+    events_emitted: int = 0
+    max_buffer_depth: int = 0
+
+
+class MatchScheduler:
+    """Walks matching-string-number lists for the engines it serves."""
+
+    def __init__(self, match_words: Dict[int, Tuple[int, int, bool]]):
+        self._match_words = match_words
+        self._queue: Deque[EngineMatch] = deque()
+        self.stats = SchedulerStatistics()
+
+    # ------------------------------------------------------------------
+    def push(self, match: EngineMatch) -> None:
+        """Buffer a match signalled by an engine."""
+        self._queue.append(match)
+        self.stats.matches_buffered += 1
+        self.stats.max_buffer_depth = max(self.stats.max_buffer_depth, len(self._queue))
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def step(self) -> List[MatchEvent]:
+        """Process the match at the head of the buffer to completion.
+
+        The hardware walks one word per memory cycle; the model processes a
+        whole list per call and accounts the number of words read, which is
+        what the latency/bandwidth statistics need.
+        """
+        if not self._queue:
+            return []
+        match = self._queue.popleft()
+        events: List[MatchEvent] = []
+        address = match.match_address
+        while True:
+            try:
+                first, second, last = self._match_words[address]
+            except KeyError as exc:
+                raise KeyError(f"match memory has no word at address {address}") from exc
+            self.stats.words_read += 1
+            for raw in (first, second):
+                if raw == EMPTY_SLOT:
+                    continue
+                events.append(
+                    MatchEvent(
+                        packet_id=match.packet_id,
+                        end_offset=match.end_offset,
+                        string_number=raw,
+                    )
+                )
+            if last:
+                break
+            address += 1
+        self.stats.events_emitted += len(events)
+        return events
+
+    def drain(self) -> List[MatchEvent]:
+        """Process every buffered match."""
+        events: List[MatchEvent] = []
+        while self._queue:
+            events.extend(self.step())
+        return events

@@ -1,0 +1,13 @@
+"""Mini intrusion-detection pipeline: header classification + content matching."""
+
+from .classifier import HeaderClassifier, HeaderPattern
+from .pipeline import Alert, IDSRule, IDSStatistics, IntrusionDetectionSystem
+
+__all__ = [
+    "HeaderClassifier",
+    "HeaderPattern",
+    "Alert",
+    "IDSRule",
+    "IDSStatistics",
+    "IntrusionDetectionSystem",
+]

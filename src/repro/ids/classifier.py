@@ -1,0 +1,105 @@
+"""5-tuple header classification (the first half of a Snort rule).
+
+Section I of the paper: a DPI rule has a header part (5-tuple packet
+classification) and a content part (the fixed strings the accelerator
+searches for).  This module provides the header side so the example IDS
+pipeline can demonstrate the complete rule semantics, not just string
+matching.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..traffic.packet import FiveTuple
+
+
+@dataclass(frozen=True)
+class HeaderPattern:
+    """A header match pattern with Snort-style wildcards.
+
+    * IP fields accept ``"any"``, a single address, or CIDR notation
+      (``"192.168.0.0/16"``); Snort's ``$HOME_NET`` style variables should be
+      resolved before constructing the pattern.
+    * Port fields accept ``"any"``, a single port (``"80"``), or an inclusive
+      range (``"1024:65535"``).
+    * ``protocol`` accepts ``"ip"`` (any), ``"tcp"``, ``"udp"`` or ``"icmp"``.
+    """
+
+    protocol: str = "ip"
+    src_ip: str = "any"
+    src_port: str = "any"
+    dst_ip: str = "any"
+    dst_port: str = "any"
+
+    def matches(self, header: FiveTuple) -> bool:
+        if self.protocol not in ("ip", "any") and header.protocol != self.protocol:
+            return False
+        return (
+            _ip_matches(self.src_ip, header.src_ip)
+            and _ip_matches(self.dst_ip, header.dst_ip)
+            and _port_matches(self.src_port, header.src_port)
+            and _port_matches(self.dst_port, header.dst_port)
+        )
+
+
+def _ip_matches(pattern: str, address: str) -> bool:
+    pattern = pattern.strip()
+    if pattern in ("any", "*", "0.0.0.0/0", "$EXTERNAL_NET", "$HOME_NET"):
+        return True
+    negate = pattern.startswith("!")
+    if negate:
+        pattern = pattern[1:]
+    try:
+        network = ipaddress.ip_network(pattern, strict=False)
+        result = ipaddress.ip_address(address) in network
+    except ValueError:
+        result = pattern == address
+    return result != negate
+
+
+def _port_matches(pattern: str, port: int) -> bool:
+    pattern = pattern.strip()
+    if pattern in ("any", "*"):
+        return True
+    negate = pattern.startswith("!")
+    if negate:
+        pattern = pattern[1:]
+    if ":" in pattern:
+        low_text, _, high_text = pattern.partition(":")
+        low = int(low_text) if low_text else 0
+        high = int(high_text) if high_text else 65535
+        result = low <= port <= high
+    else:
+        result = port == int(pattern)
+    return result != negate
+
+
+class HeaderClassifier:
+    """Linear-scan multi-rule header classifier.
+
+    A production router would use a decision-tree or TCAM classifier; the DPI
+    paper's focus is the payload scan, so a simple linear matcher keeps the
+    example pipeline easy to follow while exposing the same interface.
+    """
+
+    def __init__(self) -> None:
+        self._patterns: List[Tuple[int, HeaderPattern]] = []
+
+    def add_rule(self, rule_id: int, pattern: HeaderPattern) -> None:
+        self._patterns.append((rule_id, pattern))
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def classify(self, header: Optional[FiveTuple]) -> List[int]:
+        """Rule ids whose header pattern matches ``header``.
+
+        A packet without a header (payload-only testing) matches every rule,
+        which mirrors running Snort with header checks disabled.
+        """
+        if header is None:
+            return [rule_id for rule_id, _ in self._patterns]
+        return [rule_id for rule_id, pattern in self._patterns if pattern.matches(header)]

@@ -1,0 +1,205 @@
+"""End-to-end mini intrusion detection pipeline.
+
+Combines the two halves of a DPI rule the way the paper describes them being
+used on a router line card:
+
+1. the *header* of every packet goes through 5-tuple classification
+   (:mod:`repro.ids.classifier`);
+2. the *payload* goes through the string matching accelerator
+   (:mod:`repro.hardware` when simulating hardware, or the software
+   :class:`repro.core.DTPAutomaton` matcher);
+3. an alert is raised for a rule only when both its header pattern and every
+   one of its content strings matched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.accelerator_config import AcceleratorProgram, compile_ruleset
+from ..fpga.devices import FPGADevice, STRATIX_III
+from ..hardware.accelerator import HardwareAccelerator
+from ..rulesets.parser import SnortRuleSpec
+from ..rulesets.ruleset import PatternRule, RuleSet
+from ..traffic.packet import Packet
+from .classifier import HeaderClassifier, HeaderPattern
+
+
+@dataclass(frozen=True)
+class IDSRule:
+    """One complete IDS rule: header pattern plus one or more content strings.
+
+    ``nocase`` flags which content strings are case-insensitive (Snort's
+    ``nocase`` modifier).  Case-insensitive contents are stored lower-cased
+    and matched against a lower-cased view of the payload.
+    """
+
+    sid: int
+    header: HeaderPattern
+    contents: Tuple[bytes, ...]
+    msg: str = ""
+    action: str = "alert"
+    nocase: Tuple[bool, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.contents:
+            raise ValueError(f"rule {self.sid} has no content strings")
+        if self.nocase and len(self.nocase) != len(self.contents):
+            raise ValueError(f"rule {self.sid}: nocase flags do not match contents")
+
+    def content_flags(self) -> Tuple[Tuple[bytes, bool], ...]:
+        flags = self.nocase or (False,) * len(self.contents)
+        return tuple(zip(self.contents, flags))
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An alert raised for a packet."""
+
+    packet_id: int
+    sid: int
+    msg: str
+    action: str
+
+
+@dataclass
+class IDSStatistics:
+    packets_processed: int = 0
+    payload_bytes: int = 0
+    header_candidates: int = 0
+    content_matches: int = 0
+    alerts_raised: int = 0
+
+
+class IntrusionDetectionSystem:
+    """A miniature Snort-style IDS driven by the paper's accelerator."""
+
+    def __init__(
+        self,
+        rules: Sequence[IDSRule],
+        device: FPGADevice = STRATIX_III,
+        use_hardware_model: bool = False,
+    ):
+        if not rules:
+            raise ValueError("at least one rule is required")
+        self.rules: Dict[int, IDSRule] = {}
+        for rule in rules:
+            if rule.sid in self.rules:
+                raise ValueError(f"duplicate sid {rule.sid}")
+            self.rules[rule.sid] = rule
+        self.device = device
+        self.use_hardware_model = use_hardware_model
+        self.stats = IDSStatistics()
+
+        self.classifier = HeaderClassifier()
+        for rule in rules:
+            self.classifier.add_rule(rule.sid, rule.header)
+
+        # Build the content ruleset: unique strings across all rules, and a
+        # reverse map from string number to the rules that need it.  Contents
+        # flagged nocase are stored lower-cased and additionally searched in a
+        # lower-cased copy of each payload.
+        self._content_ruleset = RuleSet(name="ids-contents")
+        self._string_to_rules: Dict[bytes, Set[int]] = {}
+        self._nocase_patterns: Set[bytes] = set()
+        for rule in rules:
+            for content, nocase in rule.content_flags():
+                if nocase:
+                    self._nocase_patterns.add(content)
+                self._string_to_rules.setdefault(content, set()).add(rule.sid)
+                if content not in self._content_ruleset:
+                    self._content_ruleset.add_pattern(content)
+
+        self.program: AcceleratorProgram = compile_ruleset(self._content_ruleset, device)
+        self._number_to_pattern = {
+            index: rule.pattern for index, rule in enumerate(self._content_ruleset)
+        }
+        self.accelerator: Optional[HardwareAccelerator] = (
+            HardwareAccelerator(self.program) if use_hardware_model else None
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Iterable[SnortRuleSpec],
+        device: FPGADevice = STRATIX_III,
+        use_hardware_model: bool = False,
+    ) -> "IntrusionDetectionSystem":
+        """Build an IDS from parsed Snort rules."""
+        rules: List[IDSRule] = []
+        next_sid = 1
+        for spec in specs:
+            if not spec.contents:
+                continue
+            sid = spec.sid if spec.sid is not None else next_sid
+            next_sid = max(next_sid, sid) + 1
+            rules.append(
+                IDSRule(
+                    sid=sid,
+                    header=HeaderPattern(
+                        protocol=spec.header.protocol,
+                        src_ip=spec.header.src_ip,
+                        src_port=spec.header.src_port,
+                        dst_ip=spec.header.dst_ip,
+                        dst_port=spec.header.dst_port,
+                    ),
+                    contents=tuple(c.effective_pattern() for c in spec.contents),
+                    msg=spec.msg,
+                    action=spec.header.action,
+                    nocase=tuple(c.nocase for c in spec.contents),
+                )
+            )
+        return cls(rules, device=device, use_hardware_model=use_hardware_model)
+
+    # ------------------------------------------------------------------
+    def _content_matches(self, packets: Sequence[Packet]) -> Dict[int, Set[bytes]]:
+        """Which content strings matched in which packet.
+
+        Every payload is scanned as-is; when any rule uses ``nocase`` a
+        lower-cased copy is scanned as well and its hits are credited only to
+        the case-insensitive patterns.
+        """
+        found: Dict[int, Set[bytes]] = {packet.packet_id: set() for packet in packets}
+
+        def scan(payload: bytes):
+            if self.accelerator is not None:
+                result = self.accelerator.scan([Packet(payload=payload, packet_id=0)])
+                return [(event.end_offset, event.string_number) for event in result.events]
+            return self.program.match(payload)
+
+        for packet in packets:
+            for _, number in scan(packet.payload):
+                found[packet.packet_id].add(self._number_to_pattern[number])
+            if self._nocase_patterns:
+                for _, number in scan(packet.payload.lower()):
+                    pattern = self._number_to_pattern[number]
+                    if pattern in self._nocase_patterns:
+                        found[packet.packet_id].add(pattern)
+        return found
+
+    def process(self, packets: Sequence[Packet]) -> List[Alert]:
+        """Run the full pipeline over ``packets`` and return the alerts raised."""
+        alerts: List[Alert] = []
+        content_hits = self._content_matches(packets)
+        for packet in packets:
+            self.stats.packets_processed += 1
+            self.stats.payload_bytes += len(packet.payload)
+            candidates = self.classifier.classify(packet.header)
+            self.stats.header_candidates += len(candidates)
+            hits = content_hits[packet.packet_id]
+            self.stats.content_matches += len(hits)
+            for sid in candidates:
+                rule = self.rules[sid]
+                if all(content in hits for content in rule.contents):
+                    alerts.append(
+                        Alert(
+                            packet_id=packet.packet_id,
+                            sid=sid,
+                            msg=rule.msg,
+                            action=rule.action,
+                        )
+                    )
+                    self.stats.alerts_raised += 1
+        return alerts

@@ -1,0 +1,47 @@
+"""Snort-like ruleset substrate: containers, synthesis, reduction, parsing."""
+
+from .distribution import (
+    FIGURE6_DISTRIBUTION,
+    PAPER_RULESET_SIZES,
+    LengthDistribution,
+)
+from .generator import (
+    ContentModel,
+    ContentModelConfig,
+    generate_paper_rulesets,
+    generate_snort_like_ruleset,
+)
+from .parser import (
+    ContentPattern,
+    RuleHeader,
+    RuleParseError,
+    SnortRuleSpec,
+    decode_content_pattern,
+    parse_rule,
+    parse_rules,
+    ruleset_from_specs,
+)
+from .reducer import reduce_ruleset, reduce_to_character_count
+from .ruleset import PatternRule, RuleSet
+
+__all__ = [
+    "FIGURE6_DISTRIBUTION",
+    "PAPER_RULESET_SIZES",
+    "LengthDistribution",
+    "ContentModel",
+    "ContentModelConfig",
+    "generate_paper_rulesets",
+    "generate_snort_like_ruleset",
+    "ContentPattern",
+    "RuleHeader",
+    "RuleParseError",
+    "SnortRuleSpec",
+    "decode_content_pattern",
+    "parse_rule",
+    "parse_rules",
+    "ruleset_from_specs",
+    "reduce_ruleset",
+    "reduce_to_character_count",
+    "PatternRule",
+    "RuleSet",
+]

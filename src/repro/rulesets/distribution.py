@@ -1,0 +1,159 @@
+"""String-length distribution model for synthetic Snort-like rulesets.
+
+Figure 6 of the paper plots, for each ruleset size (500 .. 6,275 strings),
+the number of strings per length bucket.  The distribution peaks between 4
+and 13 bytes and has a long tail out to 50+ bytes.  Because the original
+Snort snapshot is not available, we model the length distribution
+parametrically and keep it fixed across ruleset sizes, exactly as the paper's
+subset-extraction procedure does.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """A discrete distribution over pattern lengths (in bytes).
+
+    ``weights[length]`` is an unnormalised probability mass.  Lengths with no
+    entry have zero probability.
+    """
+
+    weights: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("LengthDistribution requires at least one length")
+        for length, weight in self.weights.items():
+            if length <= 0:
+                raise ValueError(f"length must be positive, got {length}")
+            if weight < 0:
+                raise ValueError(f"weight must be non-negative, got {weight}")
+        if sum(self.weights.values()) <= 0:
+            raise ValueError("total weight must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def lengths(self) -> List[int]:
+        return sorted(self.weights)
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(self.weights.values()))
+
+    def probability(self, length: int) -> float:
+        return self.weights.get(length, 0.0) / self.total_weight
+
+    def mean(self) -> float:
+        total = self.total_weight
+        return sum(length * weight for length, weight in self.weights.items()) / total
+
+    def sample_lengths(self, count: int, rng: random.Random) -> List[int]:
+        """Draw ``count`` lengths (with replacement)."""
+        lengths = self.lengths
+        cumulative: List[float] = []
+        running = 0.0
+        for length in lengths:
+            running += self.weights[length]
+            cumulative.append(running)
+        total = cumulative[-1]
+        out: List[int] = []
+        for _ in range(count):
+            pick = rng.random() * total
+            lo, hi = 0, len(cumulative) - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cumulative[mid] < pick:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            out.append(lengths[lo])
+        return out
+
+    def expected_counts(self, total_strings: int) -> Dict[int, int]:
+        """Deterministic (largest-remainder) allocation of ``total_strings``."""
+        total = self.total_weight
+        raw = {
+            length: total_strings * weight / total
+            for length, weight in self.weights.items()
+        }
+        counts = {length: int(math.floor(value)) for length, value in raw.items()}
+        remainder = total_strings - sum(counts.values())
+        # hand the leftover strings to the largest fractional parts
+        fractional = sorted(
+            raw.items(), key=lambda item: (item[1] - math.floor(item[1])), reverse=True
+        )
+        for length, _ in fractional:
+            if remainder <= 0:
+                break
+            counts[length] += 1
+            remainder -= 1
+        return {length: count for length, count in counts.items() if count > 0}
+
+    def bucketed(self, bucket_width: int = 5, cap: int = 50) -> Dict[str, float]:
+        """Probability mass per Figure-6 style bucket."""
+        buckets: Dict[str, float] = {}
+        for length, weight in self.weights.items():
+            if length >= cap:
+                key = f"{cap}+"
+            elif length < bucket_width:
+                key = f"1-{bucket_width - 1}"
+            else:
+                low = (length // bucket_width) * bucket_width
+                key = f"{low}-{low + bucket_width - 1}"
+            buckets[key] = buckets.get(key, 0.0) + weight
+        total = self.total_weight
+        return {key: value / total for key, value in buckets.items()}
+
+    @classmethod
+    def from_lengths(cls, lengths: Sequence[int]) -> "LengthDistribution":
+        """Empirical distribution from observed pattern lengths."""
+        weights: Dict[int, float] = {}
+        for length in lengths:
+            weights[length] = weights.get(length, 0.0) + 1.0
+        return cls(weights=weights)
+
+
+def _snort_like_weights(
+    peak_low: int = 4,
+    peak_high: int = 13,
+    max_length: int = 120,
+    tail_decay: float = 0.92,
+    short_fraction: float = 0.0,
+) -> Dict[int, float]:
+    """Build the reference length weights used throughout the reproduction.
+
+    The shape follows the qualitative description of Figure 6: essentially no
+    1-3 byte strings (a 1-3 byte signature would fire on almost any traffic,
+    so Snort avoids them), a broad peak between ``peak_low`` and ``peak_high``
+    bytes, and a geometrically decaying tail that still leaves a visible mass
+    in the 50+ bucket (long URI / shellcode signatures).
+    """
+    weights: Dict[int, float] = {}
+    for length in range(1, peak_low):
+        if short_fraction > 0:
+            weights[length] = short_fraction * (length / peak_low)
+    for length in range(peak_low, peak_high + 1):
+        # gentle triangular bump across the peak region
+        centre = (peak_low + peak_high) / 2.0
+        spread = (peak_high - peak_low) / 2.0 + 1.0
+        weights[length] = 1.0 - 0.35 * abs(length - centre) / spread
+    tail_weight = weights[peak_high]
+    for length in range(peak_high + 1, max_length + 1):
+        tail_weight *= tail_decay
+        if tail_weight < 1e-4:
+            tail_weight = 1e-4
+        weights[length] = tail_weight
+    return weights
+
+
+#: Reference distribution reproducing the shape of Figure 6.
+FIGURE6_DISTRIBUTION = LengthDistribution(weights=_snort_like_weights())
+
+#: The ruleset sizes evaluated in the paper (Figure 6 / Table II).
+PAPER_RULESET_SIZES = (500, 634, 1204, 1603, 2588, 6275)

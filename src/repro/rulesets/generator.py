@@ -1,0 +1,356 @@
+"""Synthetic Snort-like ruleset generation.
+
+The original Snort snapshot used by the paper (6,275 unique content strings)
+is not redistributable, so this module synthesises rulesets that preserve the
+properties the paper's evaluation actually depends on:
+
+* the string *length distribution* of Figure 6 (peak at 4-13 bytes, 50+ tail);
+* wide *content diversity* — Section III.B's observation that most transition
+  pointers target only a few states near the start state relies on strings
+  rarely sharing long prefixes, and the hardware relies on no state needing
+  more than 13 stored pointers after compression (Section IV.A).  The
+  generator enforces the latter structurally through a branching cap on the
+  shared-prefix trie (``max_branching``), which is the property the paper's
+  Snort strings exhibited empirically;
+* a realistic mix of ASCII protocol keywords, URI fragments and raw binary
+  bytes (shellcode-like content), with mostly printable starting characters —
+  this drives the number of unique starting characters ("d1") in Table II.
+
+Generation is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .distribution import FIGURE6_DISTRIBUTION, LengthDistribution
+from .ruleset import PatternRule, RuleSet
+
+# Protocol-flavoured tokens observed in typical IDS content rules.  They are
+# building blocks inserted *inside* patterns; pattern starts are drawn from a
+# separate, deliberately smaller starter set so prefix sharing stays shallow.
+_ASCII_TOKENS: Sequence[bytes] = (
+    b"GET /", b"POST /", b"HEAD /", b"HTTP/1.1", b"Host: ", b"User-Agent:",
+    b"cgi-bin", b"admin", b"passwd", b"login", b"shell", b"cmd.exe",
+    b"root.exe", b"default.ida", b"../..", b"%20", b"%2e%2e", b"select ",
+    b"union ", b"insert ", b"drop table", b"script>", b"<iframe", b"eval(",
+    b"document.cookie", b".php?", b".asp?", b"wp-admin", b"etc/passwd",
+    b"bin/sh", b"powershell", b"base64", b"xp_cmdshell", b"CREATE_PROC",
+    b"USER anonymous", b"PASS ", b"RETR ", b"SITE EXEC", b"EXPN root",
+    b"HELO ", b"MAIL FROM", b"RCPT TO", b"kernel32", b"LoadLibrary",
+    b"GetProcAddress", b"WSASocket", b"&#x", b"SMB", b"\\PIPE\\",
+    b"IPC$", b"ADMIN$", b"NTLMSSP", b"robots.txt", b"boot.ini", b"win.ini",
+)
+
+_BINARY_MOTIFS: Sequence[bytes] = (
+    b"\x90\x90\x90\x90",      # NOP sled fragment
+    b"\xcc\xcc",              # int3 padding
+    b"\xff\xff\xff\xff",
+    b"\x01\x00\x00\x00",
+    b"\xeb\xfe",              # jmp $
+    b"\x31\xc0\x50\x68",      # xor eax,eax; push; push
+    b"\xde\xad\xbe\xef",
+    b"\x41\x41\x41\x41",      # AAAA overflow filler
+    b"\x0d\x0a\x0d\x0a",      # CRLFCRLF
+    b"MZ\x90\x00",
+    b"PE\x00\x00",
+)
+
+_PRINTABLE_LOW = 0x20
+_PRINTABLE_HIGH = 0x7F
+
+
+@dataclass(frozen=True)
+class ContentModelConfig:
+    """Knobs controlling the byte content of generated patterns."""
+
+    #: probability that a pattern is ASCII-flavoured / binary-flavoured / mixed
+    ascii_probability: float = 0.62
+    binary_probability: float = 0.23
+    mixed_probability: float = 0.15
+    #: probability that a pattern *starts* with a protocol token / binary motif
+    #: (kept low: the paper's Snort strings share almost no prefixes — the
+    #: 6,275-string set has roughly as many automaton states as characters)
+    token_start_probability: float = 0.08
+    motif_start_probability: float = 0.05
+    #: probability that a non-starting element is a token (ASCII style)
+    token_probability: float = 0.45
+
+    def __post_init__(self) -> None:
+        total = self.ascii_probability + self.binary_probability + self.mixed_probability
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("content style probabilities must sum to 1")
+        for name in ("token_start_probability", "motif_start_probability", "token_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+class ContentModel:
+    """Generates pattern bytes of a requested length."""
+
+    def __init__(self, rng: random.Random, config: Optional[ContentModelConfig] = None):
+        self._rng = rng
+        self._config = config or ContentModelConfig()
+        # Starting characters are weighted by how often they occur *inside*
+        # rule content (token bytes dominate, the rest of the printable range
+        # is rare).  Two consequences match the paper's Snort measurements:
+        # small rulesets expose only a few dozen distinct starting bytes
+        # (Table II "d1": 68 starts for 634 strings, 110 for 6,275), and the
+        # depth-1/2 states that are popular transition targets are also the
+        # ones with many children, so the four depth-2 defaults per character
+        # absorb nearly all depth-2 pointers and no state needs more than the
+        # 13 pointers the hardware supports.
+        frequency: Dict[int, int] = {}
+        for token in _ASCII_TOKENS:
+            for byte in token:
+                frequency[byte] = frequency.get(byte, 0) + 1
+        self._start_chars = list(range(_PRINTABLE_LOW, _PRINTABLE_HIGH))
+        self._start_weights = [
+            (frequency.get(char, 0) + 0.12) ** 1.5 for char in self._start_chars
+        ]
+        self._start_total = sum(self._start_weights)
+
+    #: Patterns at or below this length avoid multi-byte tokens/motifs so that
+    #: short signatures are not accidental substrings of longer ones (Snort's
+    #: short content strings are deliberately distinctive byte sequences).
+    SHORT_PATTERN_LENGTH = 8
+
+    def generate(self, length: int) -> bytes:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        style = self._pick_style()
+        if length <= self.SHORT_PATTERN_LENGTH:
+            return self._short_pattern(length, style)
+        out = bytearray(self._start_bytes(style))
+        while len(out) < length:
+            out += self._next_element(style)
+        return bytes(out[:length])
+
+    def _short_pattern(self, length: int, style: str) -> bytes:
+        out = bytearray([self._weighted_start_char()])
+        while len(out) < length:
+            if style == "binary" and self._rng.random() < 0.5:
+                out.append(self._rng.randrange(0, 256))
+            else:
+                out.append(self._rng.randrange(_PRINTABLE_LOW, _PRINTABLE_HIGH))
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    def _pick_style(self) -> str:
+        cfg = self._config
+        roll = self._rng.random()
+        if roll < cfg.ascii_probability:
+            return "ascii"
+        if roll < cfg.ascii_probability + cfg.binary_probability:
+            return "binary"
+        return "mixed"
+
+    def _start_bytes(self, style: str) -> bytes:
+        """First element of a pattern; biased towards printable characters."""
+        cfg = self._rng.random()
+        config = self._config
+        if cfg < config.token_start_probability:
+            return self._rng.choice(_ASCII_TOKENS)
+        if cfg < config.token_start_probability + config.motif_start_probability and style != "ascii":
+            return self._rng.choice(_BINARY_MOTIFS)
+        return bytes([self._weighted_start_char()])
+
+    def _weighted_start_char(self) -> int:
+        pick = self._rng.random() * self._start_total
+        running = 0.0
+        for char, weight in zip(self._start_chars, self._start_weights):
+            running += weight
+            if pick <= running:
+                return char
+        return self._start_chars[-1]
+
+    def _next_element(self, style: str) -> bytes:
+        roll = self._rng.random()
+        if style == "ascii":
+            if roll < self._config.token_probability:
+                return self._rng.choice(_ASCII_TOKENS)
+            return bytes([self._rng.randrange(_PRINTABLE_LOW, _PRINTABLE_HIGH)])
+        if style == "binary":
+            if roll < 0.4:
+                return self._rng.choice(_BINARY_MOTIFS)
+            return bytes([self._rng.randrange(0, 256)])
+        # mixed: alternate flavours element by element
+        if roll < 0.4:
+            return bytes([self._rng.randrange(_PRINTABLE_LOW, _PRINTABLE_HIGH)])
+        if roll < 0.7:
+            return self._rng.choice(_ASCII_TOKENS)
+        if roll < 0.85:
+            return self._rng.choice(_BINARY_MOTIFS)
+        return bytes([self._rng.randrange(0, 256)])
+
+
+class _BranchingTracker:
+    """Tracks prefix sharing so no trie node branches out too widely.
+
+    The paper's hardware stores at most 13 transition pointers per state and
+    the authors report that their Snort strings never exceeded it after
+    compression (Section IV.A).  In the compressed automaton the pointer count
+    of a state is dominated by (a) the children of the depth-1 state matching
+    its final character that did not win one of the four depth-2 default
+    slots, (b) the children of the depth-2 state matching its final two
+    characters that did not win the single depth-3 default slot and (c) the
+    children of any deeper state matching a suffix of its string, which are
+    always stored explicitly.  Bounding the fan-out of every prefix therefore
+    bounds the per-state pointer count; depth-1 prefixes get a slightly
+    looser cap because the 256-entry depth-1 default table absorbs them.
+    """
+
+    def __init__(self, depth1_cap: int, depth2_cap: int, deep_cap: int):
+        if min(depth1_cap, depth2_cap, deep_cap) < 2:
+            raise ValueError("branching caps must be at least 2")
+        self.depth1_cap = depth1_cap
+        self.depth2_cap = depth2_cap
+        self.deep_cap = deep_cap
+        self._children: Dict[bytes, set] = {}
+
+    def _cap_for(self, depth: int) -> int:
+        if depth == 1:
+            return self.depth1_cap
+        if depth == 2:
+            return self.depth2_cap
+        return self.deep_cap
+
+    def admits(self, pattern: bytes) -> bool:
+        for depth in range(1, len(pattern)):
+            prefix = bytes(pattern[:depth])
+            children = self._children.get(prefix)
+            if children is None:
+                # No deeper prefix of the candidate can exist either.
+                return True
+            if pattern[depth] in children:
+                continue
+            if len(children) >= self._cap_for(depth):
+                return False
+        return True
+
+    def add(self, pattern: bytes) -> None:
+        for depth in range(1, len(pattern)):
+            prefix = bytes(pattern[:depth])
+            children = self._children.get(prefix)
+            if children is None:
+                self._children[prefix] = {pattern[depth]}
+                # Deeper prefixes of this pattern are new as well; record the
+                # chain so future candidates see it, then stop scanning.
+                for deeper in range(depth + 1, len(pattern)):
+                    self._children[bytes(pattern[:deeper])] = {pattern[deeper]}
+                return
+            children.add(pattern[depth])
+
+
+def generate_snort_like_ruleset(
+    num_strings: int,
+    seed: int = 2010,
+    distribution: Optional[LengthDistribution] = None,
+    content_config: Optional[ContentModelConfig] = None,
+    name: Optional[str] = None,
+    depth1_branching_cap: int = 9,
+    depth2_branching_cap: int = 5,
+    deep_branching_cap: int = 6,
+    forbid_substrings: bool = True,
+) -> RuleSet:
+    """Generate a synthetic ruleset of ``num_strings`` unique patterns.
+
+    Lengths follow ``distribution`` (Figure 6 shape by default) using a
+    deterministic largest-remainder allocation, so two rulesets of different
+    sizes have the *same* length distribution — mirroring how the paper
+    produced its reduced rulesets.  The branching caps bound the fan-out of
+    1-byte, 2-byte and deeper prefixes, which keeps every compressed state
+    within the 13-pointer hardware limit (see :class:`_BranchingTracker`).
+
+    When ``forbid_substrings`` is set (the default) no pattern is a substring
+    of another pattern.  Snort content strings are hand-picked "unusual"
+    payload fragments, so containment between distinct rules is rare; the
+    constraint also keeps the number of matching states equal to the number
+    of rules, which is what the paper's 2,048-word match memory per block is
+    sized for.
+    """
+    if num_strings <= 0:
+        raise ValueError("num_strings must be positive")
+    distribution = distribution or FIGURE6_DISTRIBUTION
+    rng = random.Random(seed)
+    content = ContentModel(rng, content_config)
+    counts = distribution.expected_counts(num_strings)
+    tracker = _BranchingTracker(
+        depth1_cap=depth1_branching_cap,
+        depth2_cap=depth2_branching_cap,
+        deep_cap=deep_branching_cap,
+    )
+
+    ruleset = RuleSet(name=name or f"synthetic-snort-{num_strings}")
+    seen = set()
+    # Containment index: 4-byte prefix of every accepted pattern -> patterns.
+    # Used to reject a candidate that contains an already accepted pattern.
+    accepted_by_prefix: Dict[bytes, List[bytes]] = {}
+    min_accepted_length = min(counts) if counts else 4
+    prefix_key = max(1, min(4, min_accepted_length))
+
+    def contains_accepted(candidate: bytes) -> bool:
+        if len(candidate) < prefix_key:
+            return False
+        for offset in range(len(candidate) - prefix_key + 1):
+            for accepted in accepted_by_prefix.get(candidate[offset:offset + prefix_key], ()):
+                if candidate.find(accepted, offset) == offset and len(accepted) < len(candidate):
+                    return True
+        return False
+
+    sid = 1
+    # Generate shortest first: short strings must claim children of shallow
+    # prefixes before longer strings saturate the branching caps, and a
+    # shorter-first order means a candidate only needs to be checked for
+    # *containing* an accepted pattern (never for being contained by one).
+    for length in sorted(counts):
+        want = counts[length]
+        produced = 0
+        attempts = 0
+        while produced < want:
+            attempts += 1
+            if attempts > want * 1000 + 5000:
+                raise RuntimeError(
+                    f"unable to generate {want} unique patterns of length {length}; "
+                    f"relax the branching caps (currently {depth1_branching_cap}/"
+                    f"{depth2_branching_cap}/{deep_branching_cap})"
+                )
+            pattern = content.generate(length)
+            if pattern in seen or not tracker.admits(pattern):
+                continue
+            if forbid_substrings and contains_accepted(pattern):
+                continue
+            seen.add(pattern)
+            tracker.add(pattern)
+            accepted_by_prefix.setdefault(pattern[:prefix_key], []).append(pattern)
+            ruleset.add(
+                PatternRule(pattern=pattern, sid=sid, msg=f"synthetic rule len={length}")
+            )
+            sid += 1
+            produced += 1
+    return ruleset
+
+
+def generate_paper_rulesets(
+    sizes: Sequence[int] = (500, 634, 1204, 1603, 2588, 6275),
+    seed: int = 2010,
+) -> Dict[int, RuleSet]:
+    """Generate the family of ruleset sizes evaluated in the paper.
+
+    The largest ruleset is generated first and the smaller ones are extracted
+    from it with the distribution-preserving reducer, exactly as described in
+    Section V.A ("randomly extracting strings while keeping the same character
+    distribution").
+    """
+    from .reducer import reduce_ruleset  # local import to avoid a cycle
+
+    sizes = sorted(set(sizes))
+    largest = sizes[-1]
+    full = generate_snort_like_ruleset(largest, seed=seed, name=f"synthetic-snort-{largest}")
+    out: Dict[int, RuleSet] = {largest: full}
+    for size in sizes[:-1]:
+        out[size] = reduce_ruleset(full, size, seed=seed + size)
+    return out

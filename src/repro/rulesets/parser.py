@@ -1,0 +1,219 @@
+"""Parser for Snort-style rules.
+
+Only the subset needed to drive the string matching accelerator is parsed:
+
+* the rule header — ``action protocol src_ip src_port direction dst_ip dst_port``;
+* ``content:"..."`` options, including Snort's ``|41 42 43|`` hex escapes;
+* ``msg`` and ``sid`` options;
+* the ``nocase`` modifier (recorded; case folding is applied on request).
+
+Everything else (pcre, byte_test, flow, ...) is outside the scope of the
+paper, which matches only the *fixed strings* contained in rules, and is
+preserved verbatim in ``SnortRuleSpec.unparsed_options``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .ruleset import PatternRule, RuleSet
+
+
+class RuleParseError(ValueError):
+    """Raised when a rule line cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class RuleHeader:
+    """The 5-tuple header portion of a Snort rule."""
+
+    action: str
+    protocol: str
+    src_ip: str
+    src_port: str
+    direction: str
+    dst_ip: str
+    dst_port: str
+
+
+@dataclass
+class ContentPattern:
+    """A single ``content`` option."""
+
+    pattern: bytes
+    nocase: bool = False
+
+    def effective_pattern(self) -> bytes:
+        """Pattern actually loaded into the matcher (lower-cased if nocase)."""
+        if self.nocase:
+            return self.pattern.lower()
+        return self.pattern
+
+
+@dataclass
+class SnortRuleSpec:
+    """A parsed Snort rule."""
+
+    header: RuleHeader
+    contents: List[ContentPattern] = field(default_factory=list)
+    msg: str = ""
+    sid: Optional[int] = None
+    unparsed_options: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+
+    @property
+    def fixed_strings(self) -> List[bytes]:
+        return [c.effective_pattern() for c in self.contents]
+
+
+_HEADER_RE = re.compile(
+    r"^\s*(?P<action>\w+)\s+(?P<protocol>\w+)\s+(?P<src_ip>\S+)\s+(?P<src_port>\S+)\s+"
+    r"(?P<direction>->|<>|<-)\s+(?P<dst_ip>\S+)\s+(?P<dst_port>\S+)\s*$"
+)
+
+_HEX_BLOCK_RE = re.compile(r"\|([0-9A-Fa-f\s]*)\|")
+
+
+def decode_content_pattern(text: str) -> bytes:
+    """Decode a Snort content string with ``|hex|`` escapes into bytes.
+
+    >>> decode_content_pattern('abc|0D 0A|def')
+    b'abc\\r\\ndef'
+    """
+    out = bytearray()
+    position = 0
+    for match in _HEX_BLOCK_RE.finditer(text):
+        literal = text[position:match.start()]
+        out += literal.encode("latin-1")
+        hex_body = match.group(1).replace(" ", "").replace("\t", "")
+        if len(hex_body) % 2 != 0:
+            raise RuleParseError(f"odd-length hex block in content: {match.group(0)!r}")
+        for i in range(0, len(hex_body), 2):
+            out.append(int(hex_body[i:i + 2], 16))
+        position = match.end()
+    out += text[position:].encode("latin-1")
+    if not out:
+        raise RuleParseError("empty content pattern")
+    return bytes(out)
+
+
+def _split_options(body: str) -> List[Tuple[str, Optional[str]]]:
+    """Split the option body on ';' respecting quoted strings."""
+    options: List[Tuple[str, Optional[str]]] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == ";" and not in_quotes:
+            token = "".join(current).strip()
+            if token:
+                options.append(_parse_option(token))
+            current = []
+            continue
+        current.append(char)
+    token = "".join(current).strip()
+    if token:
+        options.append(_parse_option(token))
+    return options
+
+
+def _parse_option(token: str) -> Tuple[str, Optional[str]]:
+    if ":" in token:
+        key, value = token.split(":", 1)
+        return key.strip(), value.strip()
+    return token.strip(), None
+
+
+def _strip_quotes(value: str) -> str:
+    value = value.strip()
+    if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+        return value[1:-1]
+    return value
+
+
+def parse_rule(line: str) -> SnortRuleSpec:
+    """Parse one Snort rule line into a :class:`SnortRuleSpec`."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        raise RuleParseError("empty line or comment")
+    open_paren = line.find("(")
+    if open_paren < 0 or not line.endswith(")"):
+        raise RuleParseError(f"rule has no option body: {line!r}")
+    header_text = line[:open_paren]
+    body = line[open_paren + 1:-1]
+
+    match = _HEADER_RE.match(header_text)
+    if match is None:
+        raise RuleParseError(f"cannot parse rule header: {header_text!r}")
+    header = RuleHeader(**match.groupdict())
+
+    spec = SnortRuleSpec(header=header)
+    for key, value in _split_options(body):
+        key_lower = key.lower()
+        if key_lower == "content":
+            if value is None:
+                raise RuleParseError("content option requires a value")
+            spec.contents.append(
+                ContentPattern(pattern=decode_content_pattern(_strip_quotes(value)))
+            )
+        elif key_lower == "nocase":
+            if not spec.contents:
+                raise RuleParseError("nocase modifier before any content option")
+            spec.contents[-1].nocase = True
+        elif key_lower == "msg":
+            spec.msg = _strip_quotes(value or "")
+        elif key_lower == "sid":
+            try:
+                spec.sid = int(value or "")
+            except ValueError as exc:
+                raise RuleParseError(f"invalid sid: {value!r}") from exc
+        else:
+            spec.unparsed_options.append((key, value))
+    return spec
+
+
+def parse_rules(lines: Iterable[str]) -> List[SnortRuleSpec]:
+    """Parse many rule lines, silently skipping blanks and comments."""
+    specs: List[SnortRuleSpec] = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        specs.append(parse_rule(stripped))
+    return specs
+
+
+def ruleset_from_specs(
+    specs: Iterable[SnortRuleSpec], name: str = "snort", dedupe: bool = True
+) -> RuleSet:
+    """Collect the unique fixed strings of parsed rules into a :class:`RuleSet`.
+
+    The paper searches for *unique strings*; when ``dedupe`` is set, a pattern
+    appearing in several rules is stored once (first sid wins).
+    """
+    ruleset = RuleSet(name=name)
+    next_sid = 1
+    for spec in specs:
+        for content in spec.contents:
+            pattern = content.effective_pattern()
+            if dedupe and pattern in ruleset:
+                continue
+            sid = spec.sid if spec.sid is not None and spec.sid not in ruleset.sids else next_sid
+            while sid in ruleset.sids:
+                sid += 1
+            ruleset.add(PatternRule(pattern=pattern, sid=sid, msg=spec.msg))
+            next_sid = max(next_sid, sid) + 1
+    return ruleset

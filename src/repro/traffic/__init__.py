@@ -1,0 +1,12 @@
+"""Packets and synthetic traffic generation."""
+
+from .generator import TrafficGenerator, TrafficProfile
+from .packet import FiveTuple, MatchEvent, Packet
+
+__all__ = [
+    "TrafficGenerator",
+    "TrafficProfile",
+    "FiveTuple",
+    "MatchEvent",
+    "Packet",
+]

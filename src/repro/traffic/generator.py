@@ -1,0 +1,149 @@
+"""Synthetic traffic generation with controllable attack-string injection.
+
+The paper measures worst-case guaranteed throughput, which is independent of
+packet content, but functional verification and the software benchmarks need
+realistic packet streams: background traffic that occasionally contains rule
+strings at known offsets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..rulesets.ruleset import RuleSet
+from .packet import FiveTuple, Packet
+
+_PROTOCOLS = ("tcp", "udp")
+
+_BACKGROUND_WORDS = (
+    b"GET /index.html HTTP/1.1\r\n", b"Host: example.com\r\n", b"Accept: */*\r\n",
+    b"Content-Type: text/html\r\n", b"the quick brown fox ", b"lorem ipsum dolor ",
+    b"0123456789", b"abcdefghijklmnopqrstuvwxyz", b"\r\n\r\n",
+)
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Shape of the generated packet stream."""
+
+    mean_payload_bytes: int = 512
+    min_payload_bytes: int = 40
+    max_payload_bytes: int = 1460
+    #: probability that a packet has at least one rule string injected
+    attack_probability: float = 0.2
+    #: maximum number of rule strings injected into an attack packet
+    max_injected: int = 3
+    #: fraction of background bytes drawn from ASCII protocol chatter
+    ascii_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.min_payload_bytes <= 0 or self.max_payload_bytes < self.min_payload_bytes:
+            raise ValueError("invalid payload size bounds")
+        if not 0.0 <= self.attack_probability <= 1.0:
+            raise ValueError("attack_probability must be in [0, 1]")
+        if self.max_injected < 1:
+            raise ValueError("max_injected must be at least 1")
+
+
+class TrafficGenerator:
+    """Deterministic packet stream generator."""
+
+    def __init__(
+        self,
+        ruleset: Optional[RuleSet] = None,
+        profile: Optional[TrafficProfile] = None,
+        seed: int = 1,
+    ):
+        self.ruleset = ruleset
+        self.profile = profile or TrafficProfile()
+        self._rng = random.Random(seed)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def packet(self) -> Packet:
+        """Generate the next packet."""
+        profile = self.profile
+        rng = self._rng
+        size = self._payload_size()
+        payload = bytearray(self._background_bytes(size))
+
+        injected: List[int] = []
+        occupied: List[tuple] = []
+        if (
+            self.ruleset is not None
+            and len(self.ruleset) > 0
+            and rng.random() < profile.attack_probability
+        ):
+            count = rng.randint(1, profile.max_injected)
+            for _ in range(count):
+                rule = self.ruleset[rng.randrange(len(self.ruleset))]
+                length = len(rule.pattern)
+                if length >= len(payload):
+                    offset = len(payload)
+                    payload.extend(rule.pattern)
+                else:
+                    # avoid clobbering a previously injected pattern so that
+                    # injected_sids is reliable ground truth
+                    offset = None
+                    for _attempt in range(8):
+                        candidate = rng.randrange(0, len(payload) - length + 1)
+                        if all(
+                            candidate + length <= lo or candidate >= hi
+                            for lo, hi in occupied
+                        ):
+                            offset = candidate
+                            break
+                    if offset is None:
+                        offset = len(payload)
+                        payload.extend(rule.pattern)
+                    else:
+                        payload[offset:offset + length] = rule.pattern
+                occupied.append((offset, offset + length))
+                injected.append(rule.sid)
+
+        packet = Packet(
+            payload=bytes(payload),
+            header=self._header(),
+            packet_id=self._next_id,
+            injected_sids=injected,
+        )
+        self._next_id += 1
+        return packet
+
+    def packets(self, count: int) -> List[Packet]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.packet() for _ in range(count)]
+
+    def stream(self) -> Iterator[Packet]:
+        """Endless packet stream."""
+        while True:
+            yield self.packet()
+
+    # ------------------------------------------------------------------
+    def _payload_size(self) -> int:
+        profile = self.profile
+        size = int(self._rng.expovariate(1.0 / profile.mean_payload_bytes))
+        return max(profile.min_payload_bytes, min(profile.max_payload_bytes, size))
+
+    def _background_bytes(self, size: int) -> bytes:
+        rng = self._rng
+        out = bytearray()
+        while len(out) < size:
+            if rng.random() < self.profile.ascii_fraction:
+                out += rng.choice(_BACKGROUND_WORDS)
+            else:
+                out += bytes(rng.randrange(0, 256) for _ in range(rng.randint(4, 16)))
+        return bytes(out[:size])
+
+    def _header(self) -> FiveTuple:
+        rng = self._rng
+        return FiveTuple(
+            src_ip=f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(256)}",
+            dst_ip=f"192.168.{rng.randrange(256)}.{rng.randrange(256)}",
+            src_port=rng.randrange(1024, 65536),
+            dst_port=rng.choice((80, 443, 25, 21, 139, 445, 8080, 3306)),
+            protocol=rng.choice(_PROTOCOLS),
+        )

@@ -1,0 +1,53 @@
+"""Packet abstraction used by the traffic generator, IDS pipeline and hardware model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The classic 5-tuple a router's header classifier operates on."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: str
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"port {port} out of range")
+
+
+@dataclass
+class Packet:
+    """A packet: header 5-tuple plus payload bytes.
+
+    ``injected_sids`` records the ground truth of which rules' patterns were
+    deliberately embedded in the payload by the traffic generator; scanning
+    may legitimately find more matches (patterns can occur by accident).
+    """
+
+    payload: bytes
+    header: Optional[FiveTuple] = None
+    packet_id: int = 0
+    injected_sids: List[int] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.payload)
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """A reported match: which packet, where it ended, which string number."""
+
+    packet_id: int
+    end_offset: int
+    string_number: int

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (rulesets, compiled accelerator programs) are
+session-scoped so the suite stays fast; tests that need to mutate state build
+their own small instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.automata import AhoCorasickDFA
+from repro.core import DTPAutomaton, compile_ruleset
+from repro.fpga import CYCLONE_III, STRATIX_III
+from repro.rulesets import RuleSet, generate_snort_like_ruleset
+
+#: The worked example of Figures 1 and 2.
+PAPER_EXAMPLE_PATTERNS = [b"he", b"she", b"his", b"hers"]
+
+
+@pytest.fixture(scope="session")
+def example_patterns():
+    return list(PAPER_EXAMPLE_PATTERNS)
+
+
+@pytest.fixture(scope="session")
+def example_dfa(example_patterns):
+    return AhoCorasickDFA.from_patterns(example_patterns)
+
+
+@pytest.fixture(scope="session")
+def example_dtp(example_dfa):
+    return DTPAutomaton(example_dfa)
+
+
+@pytest.fixture(scope="session")
+def small_ruleset() -> RuleSet:
+    """A 120-string synthetic ruleset; cheap enough for most tests."""
+    return generate_snort_like_ruleset(120, seed=99)
+
+
+@pytest.fixture(scope="session")
+def medium_ruleset() -> RuleSet:
+    """A 400-string synthetic ruleset for integration-style tests."""
+    return generate_snort_like_ruleset(400, seed=2024)
+
+
+@pytest.fixture(scope="session")
+def small_program(small_ruleset):
+    """The small ruleset compiled for the Stratix III target."""
+    return compile_ruleset(small_ruleset, STRATIX_III)
+
+
+@pytest.fixture(scope="session")
+def small_program_cyclone(small_ruleset):
+    return compile_ruleset(small_ruleset, CYCLONE_III)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+def random_text(rng: random.Random, length: int, alphabet=range(97, 123)) -> bytes:
+    alphabet = list(alphabet)
+    return bytes(rng.choice(alphabet) for _ in range(length))
+
+
+def text_with_patterns(rng: random.Random, patterns, length: int = 2000) -> bytes:
+    """Random text with several of ``patterns`` spliced in at random offsets."""
+    data = bytearray(random_text(rng, length, alphabet=range(0, 256)))
+    for _ in range(min(8, len(patterns))):
+        pattern = patterns[rng.randrange(len(patterns))]
+        if len(pattern) >= length:
+            continue
+        offset = rng.randrange(0, length - len(pattern))
+        data[offset:offset + len(pattern)] = pattern
+    return bytes(data)

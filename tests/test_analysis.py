@@ -1,0 +1,97 @@
+"""Tests for the metrics and table formatting used by the benchmark harness."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE2_REFERENCE,
+    ascii_chart,
+    format_comparison,
+    format_histogram,
+    format_table,
+    power_curves,
+    table1_row,
+    table2_row,
+    table3_rows,
+)
+from repro.fpga import CYCLONE_III, STRATIX_III
+from repro.rulesets import reduce_to_character_count
+
+
+class TestTable2Row:
+    def test_row_fields(self, small_ruleset, small_program):
+        row = table2_row(small_ruleset, STRATIX_III, program=small_program)
+        assert row.num_strings == len(small_ruleset)
+        assert row.blocks == small_program.blocks_per_group
+        assert row.original_avg_pointers > row.avg_after_d1 > row.avg_after_d1_d2
+        assert row.avg_after_d1_d2 >= row.avg_after_d1_d2_d3
+        assert row.reduction_percent > 90
+        assert row.memory_bytes == small_program.total_memory_bytes()
+        assert row.throughput_gbps == pytest.approx(small_program.throughput_gbps)
+
+    def test_as_dict_keys(self, small_ruleset, small_program):
+        row = table2_row(small_ruleset, STRATIX_III, program=small_program).as_dict()
+        for key in ("strings", "blocks", "d1", "d1+d2", "d1+d2+d3", "reduction_%", "speed_gbps"):
+            assert key in row
+
+    def test_paper_reference_structure(self):
+        assert set(PAPER_TABLE2_REFERENCE) == {"Stratix III", "Cyclone III"}
+        assert PAPER_TABLE2_REFERENCE["Stratix III"][6275]["reduction_%"] == 98.2
+
+
+class TestTable1And3:
+    def test_table1_rows(self):
+        for device in (CYCLONE_III, STRATIX_III):
+            row = table1_row(device)
+            assert row.logic_used <= row.logic_available
+            assert row.m9k_used <= row.m9k_available
+            assert row.fmax_mhz == device.memory_fmax_mhz
+
+    def test_table3_rows_include_baselines(self, small_ruleset):
+        workload = reduce_to_character_count(small_ruleset, 1200, seed=1)
+        rows = table3_rows(workload, (CYCLONE_III, STRATIX_III))
+        approaches = [row.approach for row in rows]
+        assert any("DTP" in approach for approach in approaches)
+        assert any("Bitmap" in approach for approach in approaches)
+        assert any("Path-compressed" in approach for approach in approaches)
+        ours = min(row.memory_bytes for row in rows if "DTP" in row.approach)
+        bitmap = next(row.memory_bytes for row in rows if row.approach.startswith("Bitmap AC (reimpl"))
+        assert ours < bitmap  # the paper's headline: our structure is much smaller
+
+
+class TestPowerCurves:
+    def test_curves_have_expected_shape(self):
+        curves = power_curves(STRATIX_III, {"small": 1, "large": 6}, num_points=5)
+        assert len(curves) == 2
+        small = next(c for c in curves if c.label == "small")
+        large = next(c for c in curves if c.label == "large")
+        assert small.points[-1]["throughput_gbps"] > large.points[-1]["throughput_gbps"]
+        assert small.points[-1]["power_watts"] == pytest.approx(large.points[-1]["power_watts"])
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "bb": "x"}, {"a": 222, "bb": "yyy"}], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_comparison(self):
+        text = format_comparison({"x": 1, "y": 2}, {"x": 3, "z": 4})
+        assert "x" in text and "z" not in text
+
+    def test_ascii_chart(self):
+        points = [{"x": i, "y": i * i} for i in range(5)]
+        chart = ascii_chart(points, "x", "y", label="parabola")
+        assert "parabola" in chart
+        assert "*" in chart
+        assert ascii_chart([], "x", "y", label="none").endswith("(no points)")
+
+    def test_format_histogram(self):
+        text = format_histogram({"1-4": 10, "5-9": 0}, title="h")
+        assert text.splitlines()[0] == "h"
+        assert "#" in text
+        assert "(empty)" in format_histogram({}, title="e")

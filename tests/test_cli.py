@@ -1,0 +1,53 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("generate-ruleset", "compile", "scan", "table1", "table2", "table3",
+                    "fig6", "fig7", "fig8"):
+        assert command in text
+
+
+def test_generate_ruleset_to_file(tmp_path, capsys):
+    output = tmp_path / "rules.txt"
+    assert main(["generate-ruleset", "--size", "40", "--seed", "3", "--output", str(output)]) == 0
+    content = output.read_text()
+    assert content.count("content:") == 40
+    assert "wrote 40 rules" in capsys.readouterr().out
+
+
+def test_generate_ruleset_to_stdout(capsys):
+    assert main(["generate-ruleset", "--size", "10", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("sid:") == 10
+
+
+def test_compile_command(capsys):
+    assert main(["compile", "--size", "60", "--seed", "2", "--device", "cyclone3"]) == 0
+    out = capsys.readouterr().out
+    assert "Cyclone III" in out
+    assert "blocks per group" in out
+
+
+def test_scan_command(capsys):
+    assert main(["scan", "--size", "50", "--seed", "2", "--packets", "12", "--payload", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "bytes per engine cycle" in out
+    assert "nominal throughput" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Cyclone III" in out and "Stratix III" in out
+    assert "404" in out and "822" in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,107 @@
+"""Tests for the Tuck et al. bitmap and path-compressed AC reimplementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    AhoCorasickDFA,
+    BitmapAhoCorasick,
+    BitmapNodeLayout,
+    PathCompressedAhoCorasick,
+    PathNodeLayout,
+)
+
+
+def reference(patterns, data):
+    return sorted(AhoCorasickDFA.from_patterns(patterns).match(data))
+
+
+class TestBitmapAC:
+    def test_matches_reference(self, small_ruleset, rng):
+        from tests.conftest import text_with_patterns
+
+        patterns = small_ruleset.patterns[:40]
+        bitmap = BitmapAhoCorasick.from_patterns(patterns)
+        data = text_with_patterns(rng, patterns)
+        assert sorted(bitmap.match(data)) == reference(patterns, data)
+
+    def test_child_lookup_uses_popcount(self):
+        bitmap = BitmapAhoCorasick.from_patterns([b"ab", b"ad", b"af"])
+        root_children = bitmap.children_arrays[0]
+        assert len(root_children) == 1  # only 'a' leaves the root
+        a_state = bitmap._child(0, ord("a"))
+        assert a_state is not None
+        assert bitmap._child(a_state, ord("d")) is not None
+        assert bitmap._child(a_state, ord("x")) is None
+
+    def test_memory_scales_with_states(self):
+        small = BitmapAhoCorasick.from_patterns([b"ab"])
+        large = BitmapAhoCorasick.from_patterns([b"abcdefgh", b"ijklmnop"])
+        assert large.memory_bytes() > small.memory_bytes()
+        assert small.memory_bytes() == small.num_states * small.layout.node_bits // 8
+
+    def test_custom_layout(self):
+        layout = BitmapNodeLayout(failure_pointer_bits=16, child_pointer_bits=16)
+        bitmap = BitmapAhoCorasick.from_patterns([b"ab"], layout=layout)
+        default = BitmapAhoCorasick.from_patterns([b"ab"])
+        assert bitmap.memory_bytes() < default.memory_bytes()
+
+
+class TestPathCompressedAC:
+    def test_matches_reference(self, small_ruleset, rng):
+        from tests.conftest import text_with_patterns
+
+        patterns = small_ruleset.patterns[:40]
+        compressed = PathCompressedAhoCorasick.from_patterns(patterns)
+        data = text_with_patterns(rng, patterns)
+        assert sorted(compressed.match(data)) == reference(patterns, data)
+
+    def test_long_chain_is_compressed(self):
+        compressed = PathCompressedAhoCorasick.from_patterns([b"abcdefghij"])
+        # 10 trie states below the root collapse into root node + path nodes
+        assert compressed.num_nodes < 11
+        assert compressed.num_path_nodes >= 1
+        assert compressed.compression_ratio() > 1.0
+
+    def test_branching_states_stay_branch_nodes(self):
+        compressed = PathCompressedAhoCorasick.from_patterns([b"abc", b"abd"])
+        # "ab" has two children so it must remain addressable as a branch node
+        assert compressed.num_branch_nodes >= 3  # root, 'a'?, 'ab', terminals
+
+    def test_match_states_not_swallowed(self):
+        # "ab" is a match point inside the chain of "abcd"; compression must
+        # not hide it.
+        compressed = PathCompressedAhoCorasick.from_patterns([b"abcd", b"ab"])
+        assert sorted(compressed.match(b"abcd")) == reference([b"abcd", b"ab"], b"abcd")
+
+    def test_memory_less_than_bitmap_for_chains(self):
+        patterns = [bytes([65 + i]) + b"0123456789abcdef" for i in range(10)]
+        bitmap = BitmapAhoCorasick.from_patterns(patterns)
+        compressed = PathCompressedAhoCorasick.from_patterns(patterns)
+        assert compressed.memory_bytes() < bitmap.memory_bytes()
+
+    def test_path_node_respects_max_length(self):
+        layout = PathNodeLayout(max_path_length=4)
+        compressed = PathCompressedAhoCorasick.from_patterns([b"abcdefghijkl"], layout=layout)
+        for node in compressed.nodes:
+            if node.kind == "path":
+                assert len(node.characters) <= 4
+
+    def test_layout_validation(self):
+        layout = PathNodeLayout()
+        with pytest.raises(ValueError):
+            layout.path_node_bits(0)
+        with pytest.raises(ValueError):
+            layout.path_node_bits(layout.max_path_length + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    patterns=st.lists(st.binary(min_size=1, max_size=5), min_size=1, max_size=8, unique=True),
+    data=st.binary(max_size=200),
+)
+def test_compressed_variants_agree_with_dfa(patterns, data):
+    expected = reference(patterns, data)
+    assert sorted(BitmapAhoCorasick.from_patterns(patterns).match(data)) == expected
+    assert sorted(PathCompressedAhoCorasick.from_patterns(patterns).match(data)) == expected

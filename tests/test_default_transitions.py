@@ -1,0 +1,146 @@
+"""Tests for default transition pointer selection (Section III.B)."""
+
+import numpy as np
+import pytest
+
+from repro.automata import AhoCorasickDFA
+from repro.automata.trie import ROOT
+from repro.core import DTPAutomaton, build_default_transition_table
+from repro.core.default_transitions import enforce_pointer_limit
+from repro.core.dtp_automaton import staged_pointer_counts
+
+
+class TestSelection:
+    def test_d1_covers_every_depth1_state(self, example_dfa):
+        table = build_default_transition_table(example_dfa)
+        assert int(table.d1[ord("h")]) == example_dfa.trie.find_node(b"h")
+        assert int(table.d1[ord("s")]) == example_dfa.trie.find_node(b"s")
+        assert int(table.d1[ord("x")]) == ROOT
+        assert table.num_d1 == 2
+
+    def test_d2_limited_per_character(self, example_dfa):
+        table = build_default_transition_table(example_dfa, d2_slots=4)
+        for entries in table.d2.values():
+            assert len(entries) <= 4
+            for entry in entries:
+                assert example_dfa.depth[entry.state] == 2
+                assert example_dfa.label[entry.state] == entry.byte
+
+    def test_d3_single_per_character(self, example_dfa):
+        table = build_default_transition_table(example_dfa)
+        for byte, entry in table.d3.items():
+            assert example_dfa.depth[entry.state] == 3
+            assert example_dfa.label[entry.state] == byte
+            parent = int(example_dfa.parent[entry.state])
+            grandparent = int(example_dfa.parent[parent])
+            assert entry.preceding_bytes == (
+                int(example_dfa.label[grandparent]),
+                int(example_dfa.label[parent]),
+            )
+
+    def test_example_counts_match_trie_structure(self, example_dfa):
+        table = build_default_transition_table(example_dfa)
+        # he, hi, sh exist at depth 2; her, his, she at depth 3
+        assert table.num_d2 == 3
+        assert table.num_d3 == 3
+        assert table.total_defaults == 8
+
+    def test_most_popular_depth2_state_wins(self):
+        # "Xa" targeted from many states vs "Ya" targeted only via its parent.
+        patterns = [b"Xa", b"Ya"] + [bytes([c]) + b"X" for c in range(65, 75)]
+        dfa = AhoCorasickDFA.from_patterns(patterns)
+        table = build_default_transition_table(dfa, d2_slots=1)
+        entries = table.d2[ord("a")]
+        assert len(entries) == 1
+        assert dfa.trie.string_of(entries[0].state) == b"Xa"
+
+    def test_disable_deeper_defaults(self, example_dfa):
+        table = build_default_transition_table(example_dfa, include_d2=False, include_d3=False)
+        assert table.num_d2 == 0
+        assert table.num_d3 == 0
+
+    def test_d2_slot_count_respected(self, small_ruleset):
+        dfa = AhoCorasickDFA.from_patterns(small_ruleset.patterns)
+        for slots in (1, 2, 4, 8):
+            table = build_default_transition_table(dfa, d2_slots=slots)
+            assert all(len(entries) <= slots for entries in table.d2.values())
+
+    def test_invalid_d2_slots(self, example_dfa):
+        with pytest.raises(ValueError):
+            build_default_transition_table(example_dfa, d2_slots=-1)
+
+
+class TestResolution:
+    def test_resolve_prefers_deepest_default(self, example_dfa):
+        table = build_default_transition_table(example_dfa)
+        trie = example_dfa.trie
+        # history "h","e" then byte 'r' -> depth-3 state "her"
+        assert table.resolve(ord("r"), prev1=ord("e"), prev2=ord("h")) == trie.find_node(b"her")
+        # history only "e" (prev2 mismatch) -> no d3, no d2 for 'r' -> root
+        assert table.resolve(ord("r"), prev1=ord("e"), prev2=ord("x")) == ROOT
+        # depth-2 default: prev1 'h', byte 'e' -> "he"
+        assert table.resolve(ord("e"), prev1=ord("h"), prev2=None) == trie.find_node(b"he")
+        # depth-1 default
+        assert table.resolve(ord("h"), prev1=None, prev2=None) == trie.find_node(b"h")
+        assert table.resolve(ord("z"), prev1=None, prev2=None) == ROOT
+
+    def test_resolution_never_deeper_than_true_target(self, small_ruleset, rng):
+        dfa = AhoCorasickDFA.from_patterns(small_ruleset.patterns[:60])
+        table = build_default_transition_table(dfa)
+        data = bytes(rng.randrange(0, 256) for _ in range(400))
+        state = ROOT
+        prev1 = prev2 = None
+        for byte in data:
+            resolved = table.resolve(byte, prev1, prev2)
+            true_target = dfa.step(state, byte)
+            assert dfa.depth[resolved] <= dfa.depth[true_target]
+            state = true_target
+            prev2, prev1 = prev1, byte
+
+
+class TestCountsAndMasks:
+    def test_covered_state_mask(self, example_dfa):
+        table = build_default_transition_table(example_dfa)
+        mask = table.covered_state_mask(example_dfa.num_states)
+        covered = set(np.flatnonzero(mask).tolist())
+        expected = set(table.depth1_states()) | set(table.depth2_states()) | set(
+            table.depth3_states()
+        )
+        assert covered == expected
+
+    def test_staged_counts_monotonic(self, small_ruleset):
+        dfa = AhoCorasickDFA.from_patterns(small_ruleset.patterns)
+        table = build_default_transition_table(dfa)
+        staged = staged_pointer_counts(dfa, table)
+        assert staged.original >= staged.after_d1 >= staged.after_d1_d2 >= staged.after_d1_d2_d3
+        assert staged.reduction_percent > 80.0
+
+
+class TestPointerLimitRepair:
+    def test_limit_enforced_or_reported(self, medium_ruleset):
+        dfa = AhoCorasickDFA.from_patterns(medium_ruleset.patterns)
+        table = build_default_transition_table(dfa, max_stored_pointers=13)
+        dtp = DTPAutomaton(dfa, defaults=table)
+        assert dtp.max_pointers_per_state() <= 13
+
+    def test_repair_preserves_matching(self, small_ruleset, rng):
+        from tests.conftest import text_with_patterns
+
+        patterns = small_ruleset.patterns
+        dfa = AhoCorasickDFA.from_patterns(patterns)
+        limited = DTPAutomaton(dfa, defaults=build_default_transition_table(dfa, max_stored_pointers=6))
+        data = text_with_patterns(rng, patterns)
+        assert sorted(limited.match(data)) == sorted(dfa.match(data))
+
+    def test_repair_reduces_maximum(self, medium_ruleset):
+        dfa = AhoCorasickDFA.from_patterns(medium_ruleset.patterns)
+        plain = build_default_transition_table(dfa)
+        plain_max = DTPAutomaton(dfa, defaults=plain).max_pointers_per_state()
+        repaired = build_default_transition_table(dfa, max_stored_pointers=max(4, plain_max - 2))
+        repaired_max = DTPAutomaton(dfa, defaults=repaired).max_pointers_per_state()
+        assert repaired_max <= plain_max
+
+    def test_enforce_rejects_bad_limit(self, example_dfa):
+        table = build_default_transition_table(example_dfa)
+        with pytest.raises(ValueError):
+            enforce_pointer_limit(example_dfa, table, 0)

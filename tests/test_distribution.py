@@ -1,0 +1,68 @@
+"""Tests for the Figure 6 length-distribution model."""
+
+import random
+
+import pytest
+
+from repro.rulesets import FIGURE6_DISTRIBUTION, PAPER_RULESET_SIZES, LengthDistribution
+
+
+def test_reference_distribution_shape():
+    dist = FIGURE6_DISTRIBUTION
+    # peak between 4 and 13 bytes
+    peak_length = max(dist.weights, key=lambda length: dist.weights[length])
+    assert 4 <= peak_length <= 13
+    # essentially no 1-3 byte strings
+    assert all(dist.probability(length) == 0 for length in (1, 2, 3))
+    # visible mass beyond 50 bytes (the 50+ bucket of Figure 6)
+    assert sum(dist.probability(length) for length in dist.lengths if length >= 50) > 0.01
+    # mean in the high-teens like the Snort snapshot (states/strings ~ 17-19)
+    assert 14 <= dist.mean() <= 20
+
+
+def test_paper_sizes_constant():
+    assert PAPER_RULESET_SIZES == (500, 634, 1204, 1603, 2588, 6275)
+
+
+def test_expected_counts_sum_and_shape():
+    for total in (100, 634, 2588):
+        counts = FIGURE6_DISTRIBUTION.expected_counts(total)
+        assert sum(counts.values()) == total
+        assert all(count > 0 for count in counts.values())
+
+
+def test_expected_counts_preserve_proportions():
+    counts_small = FIGURE6_DISTRIBUTION.expected_counts(500)
+    counts_large = FIGURE6_DISTRIBUTION.expected_counts(5000)
+    # the most common length should be the same in both allocations
+    assert max(counts_small, key=counts_small.get) == max(counts_large, key=counts_large.get)
+
+
+def test_sample_lengths_respects_support():
+    rng = random.Random(7)
+    lengths = FIGURE6_DISTRIBUTION.sample_lengths(500, rng)
+    assert len(lengths) == 500
+    assert set(lengths) <= set(FIGURE6_DISTRIBUTION.lengths)
+
+
+def test_bucketed_probabilities_sum_to_one():
+    buckets = FIGURE6_DISTRIBUTION.bucketed()
+    assert sum(buckets.values()) == pytest.approx(1.0)
+    assert "50+" in buckets
+
+
+def test_from_lengths_empirical():
+    dist = LengthDistribution.from_lengths([4, 4, 5, 9])
+    assert dist.probability(4) == pytest.approx(0.5)
+    assert dist.mean() == pytest.approx(5.5)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        LengthDistribution(weights={})
+    with pytest.raises(ValueError):
+        LengthDistribution(weights={0: 1.0})
+    with pytest.raises(ValueError):
+        LengthDistribution(weights={4: -1.0})
+    with pytest.raises(ValueError):
+        LengthDistribution(weights={4: 0.0})

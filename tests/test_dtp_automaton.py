@@ -1,0 +1,129 @@
+"""Tests for the DTP-compressed automaton — the paper's core contribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import AhoCorasickDFA
+from repro.core import DTPAutomaton, build_default_transition_table
+
+
+class TestFigure2Example:
+    """The worked example of Figures 1 and 2 (strings he, she, his, hers)."""
+
+    def test_staged_averages(self, example_dtp):
+        staged = example_dtp.staged_counts()
+        averages = staged.averages()
+        # exact full-DFA counts; the paper's figure reports 2.5 for the
+        # original (see EXPERIMENTS.md), the compressed stages match exactly.
+        assert averages["original"] == pytest.approx(2.6)
+        assert averages["after_d1"] == pytest.approx(1.1)
+        assert averages["after_d1_d2"] == pytest.approx(0.5)
+        assert averages["after_d1_d2_d3"] == pytest.approx(0.1)
+
+    def test_only_the_deep_pointer_remains(self, example_dtp):
+        trie = example_dtp.dfa.trie
+        remaining = [
+            (state, char, target)
+            for state, pointers in enumerate(example_dtp.stored)
+            for char, target in pointers.items()
+        ]
+        assert len(remaining) == 1
+        state, char, target = remaining[0]
+        assert trie.string_of(state) == b"her"
+        assert chr(char) == "s"
+        assert trie.string_of(target) == b"hers"
+
+    def test_matches_equal_dfa(self, example_dtp, example_dfa):
+        data = b"ushers and heroes share his hers she shed"
+        assert sorted(example_dtp.match(data)) == sorted(example_dfa.match(data))
+
+    def test_reduction_percent(self, example_dtp):
+        assert example_dtp.reduction_percent() == pytest.approx(100 * (1 - 1 / 26), abs=0.1)
+
+
+class TestEquivalence:
+    def test_state_level_equivalence_on_random_data(self, small_ruleset, rng):
+        from tests.conftest import text_with_patterns
+
+        dtp = DTPAutomaton.from_ruleset(small_ruleset)
+        data = text_with_patterns(rng, small_ruleset.patterns, length=3000)
+        assert dtp.verify_equivalence(data)
+
+    def test_match_equivalence_binary_data(self, small_ruleset, rng):
+        dtp = DTPAutomaton.from_ruleset(small_ruleset)
+        data = bytes(rng.randrange(0, 256) for _ in range(3000))
+        assert sorted(dtp.match(data)) == sorted(dtp.dfa.match(data))
+
+    def test_history_resets_between_packets(self, example_dtp, example_dfa):
+        # Two packets scanned separately must not leak history; "rs" after a
+        # packet ending in "he" must NOT report "hers".
+        first, second = b"she", b"rs"
+        combined_matches = example_dfa.match(first + second)
+        separate = example_dtp.scan_packets([first, second])
+        assert all((len(second), pid) not in separate[1] for pid in range(4))
+        assert any(pid == 3 for _, pid in combined_matches)  # sanity: joined text has "hers"
+
+    def test_d1_only_and_d1_d2_variants_equivalent(self, small_ruleset, rng):
+        from tests.conftest import text_with_patterns
+
+        dfa = AhoCorasickDFA.from_patterns(small_ruleset.patterns[:60])
+        data = text_with_patterns(rng, small_ruleset.patterns[:60])
+        expected = sorted(dfa.match(data))
+        for include_d2, include_d3 in ((False, False), (True, False), (True, True)):
+            dtp = DTPAutomaton(dfa, include_d2=include_d2, include_d3=include_d3)
+            assert sorted(dtp.match(data)) == expected
+
+    def test_iter_states_matches_dfa(self, example_dtp, example_dfa):
+        data = b"hishers"
+        assert list(example_dtp.iter_states(data)) == list(example_dfa.iter_states(data))
+
+
+class TestStatistics:
+    def test_pointer_histogram_sums_to_states(self, small_ruleset):
+        dtp = DTPAutomaton.from_ruleset(small_ruleset)
+        histogram = dtp.pointer_count_histogram()
+        assert sum(histogram.values()) == dtp.num_states
+        assert sum(k * v for k, v in histogram.items()) == dtp.stored_pointer_count()
+
+    def test_reduction_on_synthetic_ruleset(self, small_ruleset):
+        dtp = DTPAutomaton.from_ruleset(small_ruleset)
+        assert dtp.reduction_percent() > 90.0
+        assert dtp.average_stored_pointers() < 5.0
+
+    def test_matching_states_equal_patterns(self, small_ruleset):
+        # the generator forbids substring containment, so exactly one
+        # matching state per rule
+        dtp = DTPAutomaton.from_ruleset(small_ruleset)
+        assert len(dtp.matching_states()) == len(small_ruleset)
+
+    def test_states_exceeding_limit_listing(self, small_ruleset):
+        dtp = DTPAutomaton.from_ruleset(small_ruleset)
+        limit = dtp.max_pointers_per_state()
+        assert dtp.states_exceeding(limit) == []
+        assert len(dtp.states_exceeding(limit - 1)) >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    patterns=st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=15, unique=True),
+    data=st.binary(max_size=400),
+)
+def test_dtp_equivalent_to_dfa_property(patterns, data):
+    """The compressed automaton is observationally equivalent to the full DFA."""
+    dfa = AhoCorasickDFA.from_patterns(patterns)
+    dtp = DTPAutomaton(dfa)
+    assert sorted(dtp.match(data)) == sorted(dfa.match(data))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    patterns=st.lists(st.binary(min_size=1, max_size=5), min_size=1, max_size=10, unique=True),
+    data=st.binary(max_size=200),
+    d2_slots=st.integers(min_value=0, max_value=6),
+)
+def test_dtp_equivalence_for_any_slot_count(patterns, data, d2_slots):
+    dfa = AhoCorasickDFA.from_patterns(patterns)
+    table = build_default_transition_table(dfa, d2_slots=d2_slots)
+    dtp = DTPAutomaton(dfa, defaults=table)
+    assert sorted(dtp.match(data)) == sorted(dfa.match(data))

@@ -1,0 +1,177 @@
+"""Tests for the FPGA device, resource, power and throughput models."""
+
+import pytest
+
+from repro.fpga import (
+    CYCLONE_III,
+    STRATIX_III,
+    M9K,
+    MemorySpec,
+    PowerModel,
+    ThroughputPoint,
+    accelerator_throughput_gbps,
+    block_rams_for_memory,
+    block_throughput_gbps,
+    device_throughput,
+    engine_throughput_gbps,
+    estimate_resources,
+    get_device,
+    line_rates_met,
+    max_blocks_that_fit,
+    scan_time_seconds,
+)
+from repro.analysis.metrics import PAPER_TABLE1_REFERENCE, PAPER_PEAK_POWER_WATTS
+
+
+class TestDevices:
+    def test_lookup_by_name(self):
+        assert get_device("stratix3") is STRATIX_III
+        assert get_device("Cyclone3") is CYCLONE_III
+        assert get_device("EP3SE260H780C2") is STRATIX_III
+        with pytest.raises(KeyError):
+            get_device("virtex5")
+
+    def test_paper_configuration(self):
+        assert STRATIX_III.num_matching_blocks == 6
+        assert CYCLONE_III.num_matching_blocks == 4
+        assert STRATIX_III.state_machine_words == 3584
+        assert CYCLONE_III.state_machine_words == 2560
+        assert STRATIX_III.memory_fmax_mhz == pytest.approx(460.19)
+        assert CYCLONE_III.memory_fmax_mhz == pytest.approx(233.15)
+        assert STRATIX_III.engines_per_block == 6
+        assert STRATIX_III.engine_fmax_mhz == pytest.approx(460.19 / 3)
+
+
+class TestResources:
+    def test_m9k_tiling_simple_cases(self):
+        # 512x18 tiles: a 36-bit x 512-word true dual-port memory needs 2
+        assert block_rams_for_memory(MemorySpec("m", 36, 512), M9K) == 2
+        # one tile suffices for a tiny memory
+        assert block_rams_for_memory(MemorySpec("m", 9, 256), M9K) == 1
+        # simple dual port can use the 256x36 aspect ratio
+        assert block_rams_for_memory(MemorySpec("m", 36, 256, true_dual_port=False), M9K) == 1
+
+    def test_tiling_validation(self):
+        with pytest.raises(ValueError):
+            block_rams_for_memory(MemorySpec("m", 0, 10), M9K)
+
+    def test_table1_m9k_counts_match_paper_exactly(self):
+        for device, expected in ((CYCLONE_III, 404), (STRATIX_III, 822)):
+            estimate = estimate_resources(device)
+            assert estimate.m9k_blocks == expected
+            assert estimate.fits()
+
+    def test_table1_logic_within_two_percent(self):
+        for device in (CYCLONE_III, STRATIX_III):
+            estimate = estimate_resources(device)
+            reference = PAPER_TABLE1_REFERENCE[device.family]["logic_used"]
+            assert abs(estimate.logic_cells - reference) / reference < 0.02
+
+    def test_resources_scale_with_blocks(self):
+        one = estimate_resources(STRATIX_III, num_blocks=1)
+        six = estimate_resources(STRATIX_III, num_blocks=6)
+        assert six.m9k_blocks == 6 * one.m9k_blocks
+        assert six.logic_cells > one.logic_cells
+        with pytest.raises(ValueError):
+            estimate_resources(STRATIX_III, num_blocks=0)
+
+    def test_max_blocks_that_fit_matches_paper_choice(self):
+        # the paper instantiates exactly as many blocks as the device holds
+        assert max_blocks_that_fit(CYCLONE_III) == CYCLONE_III.num_matching_blocks
+        assert max_blocks_that_fit(STRATIX_III) >= STRATIX_III.num_matching_blocks
+
+    def test_utilisation_fractions(self):
+        estimate = estimate_resources(STRATIX_III)
+        assert 0 < estimate.logic_utilisation < 1
+        assert 0 < estimate.m9k_utilisation < 1
+        row = estimate.as_table_row()
+        assert row["device"] == "Stratix III"
+
+
+class TestThroughput:
+    def test_sixteen_times_fmax_law(self):
+        assert block_throughput_gbps(460.19) == pytest.approx(7.363, abs=0.001)
+        assert block_throughput_gbps(233.15) == pytest.approx(3.73, abs=0.01)
+
+    def test_paper_throughput_ladder_stratix(self):
+        fmax, blocks = STRATIX_III.memory_fmax_mhz, STRATIX_III.num_matching_blocks
+        assert accelerator_throughput_gbps(fmax, blocks, 1) == pytest.approx(44.2, abs=0.1)
+        assert accelerator_throughput_gbps(fmax, blocks, 2) == pytest.approx(22.1, abs=0.1)
+        assert accelerator_throughput_gbps(fmax, blocks, 3) == pytest.approx(14.7, abs=0.1)
+        assert accelerator_throughput_gbps(fmax, blocks, 6) == pytest.approx(7.4, abs=0.1)
+
+    def test_paper_throughput_ladder_cyclone(self):
+        fmax, blocks = CYCLONE_III.memory_fmax_mhz, CYCLONE_III.num_matching_blocks
+        assert accelerator_throughput_gbps(fmax, blocks, 1) == pytest.approx(14.9, abs=0.1)
+        assert accelerator_throughput_gbps(fmax, blocks, 2) == pytest.approx(7.5, abs=0.1)
+        assert accelerator_throughput_gbps(fmax, blocks, 4) == pytest.approx(3.7, abs=0.1)
+
+    def test_engine_throughput_is_one_byte_per_engine_cycle(self):
+        assert engine_throughput_gbps(300.0) == pytest.approx(0.8, abs=0.001)
+
+    def test_line_rates(self):
+        stratix_point = device_throughput(STRATIX_III, blocks_per_group=1)
+        cyclone_point = device_throughput(CYCLONE_III, blocks_per_group=1)
+        assert line_rates_met(stratix_point) == ["OC-192", "OC-768"]
+        assert line_rates_met(cyclone_point) == ["OC-192"]
+
+    def test_scan_time(self):
+        point = ThroughputPoint(memory_clock_mhz=300.0, blocks_per_group=1, total_blocks=6)
+        assert scan_time_seconds(0, point) == 0.0
+        assert scan_time_seconds(point.bytes_per_second, point) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            scan_time_seconds(-1, point)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_throughput_gbps(0)
+        with pytest.raises(ValueError):
+            accelerator_throughput_gbps(100, 2, 3)
+        with pytest.raises(ValueError):
+            accelerator_throughput_gbps(100, 0, 1)
+
+
+class TestPower:
+    def test_peak_power_matches_paper(self):
+        for device in (CYCLONE_III, STRATIX_III):
+            model = PowerModel(device)
+            assert model.peak_power_watts() == pytest.approx(
+                PAPER_PEAK_POWER_WATTS[device.family], rel=0.05
+            )
+
+    def test_power_monotonic_in_frequency(self):
+        model = PowerModel(STRATIX_III)
+        powers = [model.power_watts(f) for f in (0, 100, 200, 300, 460)]
+        assert powers == sorted(powers)
+        assert powers[0] == pytest.approx(STRATIX_III.static_power_watts)
+
+    def test_sweep_endpoints_and_throughput(self):
+        model = PowerModel(CYCLONE_III)
+        sweep = model.sweep(blocks_per_group=1, num_points=6)
+        assert len(sweep) == 6
+        assert sweep[0].memory_clock_mhz == 0.0
+        assert sweep[0].throughput_gbps == 0.0
+        assert sweep[-1].memory_clock_mhz == pytest.approx(CYCLONE_III.memory_fmax_mhz)
+        assert sweep[-1].throughput_gbps == pytest.approx(14.9, abs=0.1)
+
+    def test_more_blocks_per_group_lowers_throughput_not_power(self):
+        model = PowerModel(STRATIX_III)
+        single = model.sweep(blocks_per_group=1, num_points=4)[-1]
+        six = model.sweep(blocks_per_group=6, num_points=4)[-1]
+        assert single.power_watts == pytest.approx(six.power_watts)
+        assert single.throughput_gbps == pytest.approx(6 * six.throughput_gbps, rel=0.01)
+
+    def test_energy_per_bit(self):
+        model = PowerModel(STRATIX_III)
+        assert model.energy_per_bit_nanojoules(1) < model.energy_per_bit_nanojoules(6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(STRATIX_III, static_watts=-1)
+        model = PowerModel(STRATIX_III)
+        with pytest.raises(ValueError):
+            model.power_watts(-5)
+        with pytest.raises(ValueError):
+            model.power_watts(100, active_blocks=99)
+        with pytest.raises(ValueError):
+            model.sweep(blocks_per_group=1, num_points=1)

@@ -1,0 +1,120 @@
+"""Tests for synthetic ruleset generation and distribution-preserving reduction."""
+
+import pytest
+
+from repro.automata import Trie
+from repro.rulesets import (
+    FIGURE6_DISTRIBUTION,
+    ContentModelConfig,
+    generate_paper_rulesets,
+    generate_snort_like_ruleset,
+    reduce_ruleset,
+    reduce_to_character_count,
+)
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        first = generate_snort_like_ruleset(80, seed=11)
+        second = generate_snort_like_ruleset(80, seed=11)
+        assert first.patterns == second.patterns
+
+    def test_different_seeds_differ(self):
+        assert (
+            generate_snort_like_ruleset(80, seed=11).patterns
+            != generate_snort_like_ruleset(80, seed=12).patterns
+        )
+
+    def test_requested_size_and_uniqueness(self, small_ruleset):
+        assert len(small_ruleset) == 120
+        assert len(set(small_ruleset.patterns)) == 120
+
+    def test_length_distribution_followed(self, medium_ruleset):
+        counts = FIGURE6_DISTRIBUTION.expected_counts(len(medium_ruleset))
+        histogram = medium_ruleset.length_histogram()
+        assert histogram == counts
+
+    def test_no_pattern_is_substring_of_another(self, small_ruleset):
+        patterns = small_ruleset.patterns
+        for i, needle in enumerate(patterns):
+            for j, haystack in enumerate(patterns):
+                if i != j:
+                    assert needle not in haystack
+
+    def test_branching_caps_respected(self, medium_ruleset):
+        trie = Trie.from_patterns(medium_ruleset.patterns)
+        for state in range(1, trie.num_states):
+            fanout = len(trie.children[state])
+            if trie.depth[state] == 1:
+                assert fanout <= 9
+            elif trie.depth[state] == 2:
+                assert fanout <= 5
+            else:
+                assert fanout <= 6
+
+    def test_mostly_printable_starting_bytes(self, medium_ruleset):
+        printable = sum(1 for p in medium_ruleset.patterns if 0x20 <= p[0] < 0x7F)
+        assert printable / len(medium_ruleset) > 0.8
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generate_snort_like_ruleset(0)
+        with pytest.raises(ValueError):
+            ContentModelConfig(ascii_probability=0.9, binary_probability=0.9, mixed_probability=0.1)
+        with pytest.raises(ValueError):
+            ContentModelConfig(token_start_probability=1.5)
+
+    def test_paper_family_sizes(self):
+        family = generate_paper_rulesets(sizes=(100, 200), seed=4)
+        assert set(family) == {100, 200}
+        assert len(family[100]) == 100
+        assert len(family[200]) == 200
+        # the smaller set is extracted from the larger one
+        assert set(family[100].patterns) <= set(family[200].patterns)
+
+
+class TestReducer:
+    def test_reduce_preserves_length_distribution(self, medium_ruleset):
+        reduced = reduce_ruleset(medium_ruleset, 100, seed=3)
+        assert len(reduced) == 100
+        original_histogram = medium_ruleset.bucketed_histogram()
+        reduced_histogram = reduced.bucketed_histogram()
+        for bucket, count in reduced_histogram.items():
+            expected = original_histogram[bucket] * 100 / len(medium_ruleset)
+            assert abs(count - expected) <= 3
+
+    def test_reduce_is_subset(self, medium_ruleset):
+        reduced = reduce_ruleset(medium_ruleset, 50, seed=9)
+        assert set(reduced.patterns) <= set(medium_ruleset.patterns)
+
+    def test_reduce_full_size_is_copy(self, small_ruleset):
+        same = reduce_ruleset(small_ruleset, len(small_ruleset))
+        assert sorted(same.patterns) == sorted(small_ruleset.patterns)
+
+    def test_reduce_validation(self, small_ruleset):
+        with pytest.raises(ValueError):
+            reduce_ruleset(small_ruleset, 0)
+        with pytest.raises(ValueError):
+            reduce_ruleset(small_ruleset, len(small_ruleset) + 1)
+
+    def test_reduce_deterministic(self, medium_ruleset):
+        assert (
+            reduce_ruleset(medium_ruleset, 77, seed=5).patterns
+            == reduce_ruleset(medium_ruleset, 77, seed=5).patterns
+        )
+
+    def test_reduce_to_character_count(self, medium_ruleset):
+        target = 2000
+        reduced = reduce_to_character_count(medium_ruleset, target, seed=2)
+        assert set(reduced.patterns) <= set(medium_ruleset.patterns)
+        # within one maximum pattern length of the requested count
+        longest = max(len(p) for p in medium_ruleset.patterns)
+        assert target <= reduced.total_characters <= target + longest
+
+    def test_reduce_to_character_count_full(self, small_ruleset):
+        everything = reduce_to_character_count(small_ruleset, small_ruleset.total_characters + 10)
+        assert len(everything) == len(small_ruleset)
+
+    def test_reduce_to_character_count_validation(self, small_ruleset):
+        with pytest.raises(ValueError):
+            reduce_to_character_count(small_ruleset, 0)

@@ -1,0 +1,74 @@
+"""Tests for the 256 x 49-bit lookup-table encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import AhoCorasickDFA
+from repro.automata.trie import ROOT
+from repro.core import (
+    LOOKUP_TABLE_WORDS,
+    LOOKUP_WORD_BITS,
+    DTPAutomaton,
+    build_default_transition_table,
+    encode_lookup_table,
+)
+
+
+def test_geometry_matches_paper(example_dfa):
+    table = build_default_transition_table(example_dfa)
+    encoded = encode_lookup_table(table)
+    assert LOOKUP_TABLE_WORDS == 256
+    assert LOOKUP_WORD_BITS == 49
+    assert len(encoded.words) == 256
+    assert encoded.memory_bits() == 256 * 49
+    assert encoded.memory_bytes() == (256 * 49 + 7) // 8
+    assert all(word < (1 << 49) for word in encoded.words)
+
+
+def test_word_fields_roundtrip(example_dfa):
+    table = build_default_transition_table(example_dfa)
+    encoded = encode_lookup_table(table)
+    for byte in range(256):
+        fields = encoded.decode_word(byte)
+        assert fields["d1_valid"] == (int(table.d1[byte]) != ROOT)
+        entries = table.d2.get(byte, [])
+        for slot, entry in enumerate(entries):
+            assert fields["d2_preceding"][slot] == entry.preceding_byte
+            assert encoded.d2_valid[byte][slot]
+        entry3 = table.d3.get(byte)
+        if entry3 is not None:
+            assert fields["d3_preceding"] == entry3.preceding_bytes
+            assert encoded.d3_valid[byte]
+        else:
+            assert not encoded.d3_valid[byte]
+
+
+def test_encoded_resolution_matches_logical_resolution(small_ruleset, rng):
+    dfa = AhoCorasickDFA.from_patterns(small_ruleset.patterns[:80])
+    table = build_default_transition_table(dfa)
+    encoded = encode_lookup_table(table)
+    history = [None, None]
+    for _ in range(3000):
+        byte = rng.randrange(0, 256)
+        assert encoded.resolve(byte, history[0], history[1]) == table.resolve(
+            byte, history[0], history[1]
+        )
+        history = [byte, history[0]]
+
+
+def test_rejects_oversized_slot_count(example_dfa):
+    table = build_default_transition_table(example_dfa, d2_slots=6)
+    if table.d2_slots > 4:
+        with pytest.raises(ValueError):
+            encode_lookup_table(table)
+
+
+def test_total_defaults_counted(small_ruleset):
+    dfa = AhoCorasickDFA.from_patterns(small_ruleset.patterns)
+    table = build_default_transition_table(dfa)
+    encoded = encode_lookup_table(table)
+    valid_d2 = sum(sum(1 for flag in flags if flag) for flags in encoded.d2_valid)
+    valid_d3 = sum(1 for flag in encoded.d3_valid if flag)
+    assert valid_d2 == table.num_d2
+    assert valid_d3 == table.num_d3

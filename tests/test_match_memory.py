@@ -1,0 +1,101 @@
+"""Tests for the 2,048 x 27-bit matching-string-number memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MATCH_MEMORY_WORDS, MATCH_WORD_BITS, MatchMemory, MatchMemoryError
+from repro.core.match_memory import EMPTY_SLOT, MAX_STRING_NUMBER
+
+
+def test_geometry_matches_paper():
+    assert MATCH_MEMORY_WORDS == 2048
+    assert MATCH_WORD_BITS == 27
+
+
+def test_single_match_list():
+    memory = MatchMemory.build({5: [42]})
+    address = memory.address_of(5)
+    assert address == 0
+    assert memory.read_list(address) == [42]
+    assert memory.words_read(address) == 1
+    assert memory.used_words == 1
+
+
+def test_two_numbers_share_a_word():
+    memory = MatchMemory.build({5: [1, 2]})
+    assert memory.used_words == 1
+    assert memory.read_list(0) == [1, 2]
+
+
+def test_long_list_spans_words_until_stop_bit():
+    memory = MatchMemory.build({7: [10, 20, 30, 40, 50]})
+    assert memory.used_words == 3
+    assert memory.read_list(0) == [10, 20, 30, 40, 50]
+    assert memory.words_read(0) == 3
+
+
+def test_multiple_states_get_disjoint_regions():
+    memory = MatchMemory.build({1: [100], 2: [200, 201], 9: [300, 301, 302]})
+    lists = [memory.read_list(memory.address_of(state)) for state in (1, 2, 9)]
+    assert lists == [[100], [200, 201], [300, 301, 302]]
+
+
+def test_capacity_overflow_raises():
+    too_many = {state: [state] for state in range(MATCH_MEMORY_WORDS + 1)}
+    with pytest.raises(MatchMemoryError):
+        MatchMemory.build(too_many)
+
+
+def test_string_number_range_checked():
+    with pytest.raises(MatchMemoryError):
+        MatchMemory.build({0: [MAX_STRING_NUMBER + 1]})
+    MatchMemory.build({0: [MAX_STRING_NUMBER]})  # boundary value is fine
+
+
+def test_memory_accounting_full_vs_used():
+    memory = MatchMemory.build({1: [5, 6, 7]})
+    assert memory.memory_bits() == MATCH_MEMORY_WORDS * MATCH_WORD_BITS
+    assert memory.memory_bits(count_full_capacity=False) == memory.used_words * MATCH_WORD_BITS
+    assert 0.0 < memory.utilisation() < 1.0
+
+
+def test_encode_decode_words():
+    memory = MatchMemory.build({3: [11, 22, 33]})
+    images = memory.encode_words()
+    assert len(images) == memory.used_words
+    decoded = [MatchMemory.decode_word(image) for image in images]
+    assert decoded[0] == (11, 22, False)
+    assert decoded[1] == (33, EMPTY_SLOT, True)
+    assert all(image < (1 << MATCH_WORD_BITS) for image in images)
+
+
+def test_empty_match_lists_are_skipped():
+    memory = MatchMemory.build({1: [], 2: [9]})
+    assert memory.address_of(1) is None
+    assert memory.address_of(2) == 0
+
+
+def test_read_list_bad_address():
+    memory = MatchMemory.build({1: [1]})
+    with pytest.raises(IndexError):
+        memory.read_list(5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lists=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=500),
+        values=st.lists(st.integers(min_value=0, max_value=MAX_STRING_NUMBER), min_size=1, max_size=7),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_roundtrip_property(lists):
+    memory = MatchMemory.build(lists)
+    for state, numbers in lists.items():
+        address = memory.address_of(state)
+        assert memory.read_list(address) == list(numbers)
+    # words used is the sum of per-state ceil(len/2)
+    expected_words = sum((len(numbers) + 1) // 2 for numbers in lists.values())
+    assert memory.used_words == expected_words

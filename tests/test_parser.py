@@ -1,0 +1,117 @@
+"""Tests for the Snort rule parser."""
+
+import pytest
+
+from repro.rulesets import (
+    RuleParseError,
+    decode_content_pattern,
+    parse_rule,
+    parse_rules,
+    ruleset_from_specs,
+)
+
+RULE = (
+    'alert tcp $EXTERNAL_NET any -> $HOME_NET 80 '
+    '(msg:"WEB-IIS cmd.exe access"; content:"cmd.exe"; nocase; sid:1002;)'
+)
+RULE_HEX = (
+    'alert tcp any any -> 192.168.0.0/16 139 '
+    '(msg:"NETBIOS probe"; content:"|00 01 02|ABC|FF|"; sid:2001;)'
+)
+RULE_TWO_CONTENTS = (
+    'alert udp any any <> any 53 '
+    '(msg:"DNS thing"; content:"baddomain"; content:"|01 00|"; sid:3001;)'
+)
+
+
+class TestDecodeContent:
+    def test_plain_text(self):
+        assert decode_content_pattern("abc") == b"abc"
+
+    def test_hex_block(self):
+        assert decode_content_pattern("|41 42 43|") == b"ABC"
+
+    def test_mixed(self):
+        assert decode_content_pattern("a|0D 0A|b") == b"a\r\nb"
+
+    def test_multiple_hex_blocks(self):
+        assert decode_content_pattern("|00|mid|FF|") == b"\x00mid\xff"
+
+    def test_odd_hex_rejected(self):
+        with pytest.raises(RuleParseError):
+            decode_content_pattern("|0|")
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuleParseError):
+            decode_content_pattern("")
+
+
+class TestParseRule:
+    def test_header_fields(self):
+        spec = parse_rule(RULE)
+        assert spec.header.action == "alert"
+        assert spec.header.protocol == "tcp"
+        assert spec.header.src_ip == "$EXTERNAL_NET"
+        assert spec.header.direction == "->"
+        assert spec.header.dst_port == "80"
+
+    def test_content_and_modifiers(self):
+        spec = parse_rule(RULE)
+        assert len(spec.contents) == 1
+        assert spec.contents[0].pattern == b"cmd.exe"
+        assert spec.contents[0].nocase is True
+        assert spec.fixed_strings == [b"cmd.exe"]
+        assert spec.msg == "WEB-IIS cmd.exe access"
+        assert spec.sid == 1002
+
+    def test_hex_content(self):
+        spec = parse_rule(RULE_HEX)
+        assert spec.contents[0].pattern == b"\x00\x01\x02ABC\xff"
+
+    def test_multiple_contents(self):
+        spec = parse_rule(RULE_TWO_CONTENTS)
+        assert [c.pattern for c in spec.contents] == [b"baddomain", b"\x01\x00"]
+
+    def test_unknown_options_preserved(self):
+        spec = parse_rule(
+            'alert tcp any any -> any any (content:"x1"; flow:to_server; depth:10; sid:1;)'
+        )
+        assert ("flow", "to_server") in spec.unparsed_options
+        assert ("depth", "10") in spec.unparsed_options
+
+    def test_errors(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("# comment only")
+        with pytest.raises(RuleParseError):
+            parse_rule("alert tcp any any -> any any content missing parens")
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any (content:"x";)')  # malformed header
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any -> any any (nocase; sid:4;)')
+        with pytest.raises(RuleParseError):
+            parse_rule('alert tcp any any -> any any (content:"x"; sid:abc;)')
+
+
+class TestParseMany:
+    def test_skips_comments_and_blanks(self):
+        specs = parse_rules(["", "# header", RULE, RULE_HEX])
+        assert len(specs) == 2
+
+    def test_ruleset_from_specs_dedupes(self):
+        specs = parse_rules([RULE, RULE, RULE_TWO_CONTENTS])
+        ruleset = ruleset_from_specs(specs)
+        # cmd.exe appears twice but is stored once (lower-cased by nocase)
+        assert len(ruleset) == 3
+        assert b"cmd.exe" in ruleset
+        assert b"baddomain" in ruleset
+        assert b"\x01\x00" in ruleset
+
+    def test_ruleset_usable_by_matcher(self):
+        from repro.core import DTPAutomaton
+
+        ruleset = ruleset_from_specs(parse_rules([RULE, RULE_HEX, RULE_TWO_CONTENTS]))
+        dtp = DTPAutomaton.from_ruleset(ruleset)
+        matches = dtp.match(b"GET /scripts/CMD.exe".lower() + b" baddomain \x01\x00")
+        matched_patterns = {ruleset[pid].pattern for _, pid in matches}
+        assert b"cmd.exe" in matched_patterns
+        assert b"baddomain" in matched_patterns

@@ -1,0 +1,67 @@
+"""Tests for ruleset partitioning across string matching blocks."""
+
+import pytest
+
+from repro.core import partition_ruleset
+from repro.rulesets import RuleSet
+
+
+def test_single_group_is_identity(small_ruleset):
+    plan = partition_ruleset(small_ruleset, 1)
+    assert plan.num_groups == 1
+    assert len(plan.groups[0]) == len(small_ruleset)
+
+
+@pytest.mark.parametrize("strategy", ["prefix", "balanced"])
+@pytest.mark.parametrize("groups", [2, 3, 4])
+def test_partition_preserves_all_rules(small_ruleset, strategy, groups):
+    plan = partition_ruleset(small_ruleset, groups, strategy=strategy)
+    assert plan.num_groups == groups
+    recovered = sorted(pattern for group in plan.groups for pattern in group.patterns)
+    assert recovered == sorted(small_ruleset.patterns)
+    assert all(len(group) > 0 for group in plan.groups)
+
+
+def test_balanced_partition_is_roughly_even(medium_ruleset):
+    plan = partition_ruleset(medium_ruleset, 4, strategy="balanced")
+    assert plan.imbalance() < 1.1
+
+
+def test_prefix_partition_keeps_first_bytes_together(small_ruleset):
+    plan = partition_ruleset(small_ruleset, 2, strategy="prefix")
+    # a first byte should rarely appear in more than one group; only clusters
+    # that were split for balance may cross groups
+    byte_groups = {}
+    for index, group in enumerate(plan.groups):
+        for rule in group:
+            byte_groups.setdefault(rule.pattern[0], set()).add(index)
+    crossing = sum(1 for groups in byte_groups.values() if len(groups) > 1)
+    assert crossing <= len(byte_groups) // 4
+
+
+def test_prefix_partition_shares_fewer_states_than_balanced(medium_ruleset):
+    from repro.automata import Trie
+
+    def total_states(plan):
+        return sum(Trie.from_patterns(group.patterns).num_states for group in plan.groups)
+
+    prefix_states = total_states(partition_ruleset(medium_ruleset, 3, strategy="prefix"))
+    balanced_states = total_states(partition_ruleset(medium_ruleset, 3, strategy="balanced"))
+    assert prefix_states <= balanced_states
+
+
+def test_partition_validation(small_ruleset):
+    with pytest.raises(ValueError):
+        partition_ruleset(small_ruleset, 0)
+    with pytest.raises(ValueError):
+        partition_ruleset(small_ruleset, len(small_ruleset) + 1)
+    with pytest.raises(ValueError):
+        partition_ruleset(small_ruleset, 2, strategy="bogus")
+    with pytest.raises(ValueError):
+        partition_ruleset(RuleSet(name="empty"), 1)
+
+
+def test_group_characters_and_sizes(small_ruleset):
+    plan = partition_ruleset(small_ruleset, 3)
+    assert sum(plan.group_sizes()) == len(small_ruleset)
+    assert sum(plan.group_characters()) == small_ruleset.total_characters

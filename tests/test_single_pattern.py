@@ -1,0 +1,86 @@
+"""Tests for the KMP / Boyer-Moore single-pattern baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.single_pattern import BoyerMoore, KnuthMorrisPratt, NaiveMultiPattern
+
+
+def naive_find_all(pattern, data, pattern_id=0):
+    out = []
+    start = 0
+    while True:
+        index = data.find(pattern, start)
+        if index < 0:
+            return out
+        out.append((index + len(pattern), pattern_id))
+        start = index + 1
+
+
+@pytest.mark.parametrize("matcher_class", [KnuthMorrisPratt, BoyerMoore])
+class TestSinglePattern:
+    def test_simple(self, matcher_class):
+        matcher = matcher_class(b"abc")
+        assert matcher.match(b"xxabcxxabc") == [(5, 0), (10, 0)]
+
+    def test_overlapping(self, matcher_class):
+        matcher = matcher_class(b"aa")
+        assert matcher.match(b"aaaa") == [(2, 0), (3, 0), (4, 0)]
+
+    def test_no_match(self, matcher_class):
+        matcher = matcher_class(b"needle")
+        assert matcher.match(b"haystack without it") == []
+
+    def test_match_at_start_and_end(self, matcher_class):
+        matcher = matcher_class(b"ab")
+        assert matcher.match(b"abxxab") == [(2, 0), (6, 0)]
+
+    def test_pattern_equals_text(self, matcher_class):
+        matcher = matcher_class(b"exact")
+        assert matcher.match(b"exact") == [(5, 0)]
+
+    def test_empty_pattern_rejected(self, matcher_class):
+        with pytest.raises(ValueError):
+            matcher_class(b"")
+
+    def test_binary_patterns(self, matcher_class):
+        matcher = matcher_class(b"\x00\xff\x00")
+        assert matcher.match(b"\x00\xff\x00\xff\x00") == [(3, 0), (5, 0)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=st.binary(min_size=1, max_size=6), data=st.binary(max_size=400))
+def test_kmp_matches_find(pattern, data):
+    assert KnuthMorrisPratt(pattern).match(data) == naive_find_all(pattern, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=st.binary(min_size=1, max_size=6), data=st.binary(max_size=400))
+def test_boyer_moore_matches_find(pattern, data):
+    assert BoyerMoore(pattern).match(data) == naive_find_all(pattern, data)
+
+
+class TestNaiveMultiPattern:
+    def test_reports_pattern_ids(self):
+        matcher = NaiveMultiPattern([b"ab", b"bc"])
+        assert matcher.match(b"abc") == [(2, 0), (3, 1)]
+
+    def test_algorithm_selection(self):
+        for algorithm in ("kmp", "boyer-moore"):
+            matcher = NaiveMultiPattern([b"x"], algorithm=algorithm)
+            assert matcher.match(b"xx") == [(1, 0), (2, 0)]
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            NaiveMultiPattern([b"x"], algorithm="rabin-karp")
+
+    def test_agrees_with_dfa(self, small_ruleset, rng):
+        from repro.automata import AhoCorasickDFA
+        from tests.conftest import text_with_patterns
+
+        patterns = small_ruleset.patterns[:40]
+        data = text_with_patterns(rng, patterns)
+        dfa = AhoCorasickDFA.from_patterns(patterns)
+        naive = NaiveMultiPattern(patterns)
+        assert sorted(naive.match(data)) == sorted(dfa.match(data))

@@ -1,0 +1,94 @@
+"""Tests for the 15 state types of Figure 3."""
+
+import pytest
+
+from repro.core.state_types import (
+    MATCH_INFO_BITS,
+    MAX_POINTERS_PER_STATE,
+    POINTER_BITS,
+    SIZE_CLASSES,
+    SLOT_BITS,
+    SLOTS_PER_WORD,
+    STATE_TYPES,
+    WORD_BITS,
+    allowed_start_slots,
+    pointer_capacity,
+    slots_for_pointer_count,
+    state_type,
+    type_for_placement,
+)
+
+
+def test_exactly_fifteen_types():
+    assert len(STATE_TYPES) == 15
+    assert [t.type_id for t in STATE_TYPES] == list(range(1, 16))
+
+
+def test_word_geometry():
+    assert WORD_BITS == 324
+    assert SLOT_BITS == 36
+    assert SLOTS_PER_WORD == 9
+    assert MATCH_INFO_BITS == 12
+    assert POINTER_BITS == 24
+
+
+def test_size_classes_match_paper():
+    """Types 1-9: 0-1 ptrs; 10-12: 2-4; 13: 5-7; 14: 8-10; 15: 11-13."""
+    assert SIZE_CLASSES == {1: (0, 1), 3: (2, 4), 5: (5, 7), 7: (8, 10), 9: (11, 13)}
+    assert MAX_POINTERS_PER_STATE == 13
+
+
+def test_width_fits_match_info_and_pointers():
+    for slots, (_low, high) in SIZE_CLASSES.items():
+        assert slots * SLOT_BITS == MATCH_INFO_BITS + high * POINTER_BITS
+
+
+def test_type_positions():
+    assert allowed_start_slots(1) == list(range(9))
+    assert allowed_start_slots(3) == [0, 3, 6]
+    assert allowed_start_slots(5) == [0]
+    assert allowed_start_slots(7) == [0]
+    assert allowed_start_slots(9) == [0]
+
+
+def test_types_fit_within_word():
+    for t in STATE_TYPES:
+        assert t.bit_offset + t.width_bits <= WORD_BITS
+        assert t.max_pointers == SIZE_CLASSES[t.slots][1]
+        assert t.min_pointers == SIZE_CLASSES[t.slots][0]
+        assert list(t.slot_range()) == list(range(t.start_slot, t.start_slot + t.slots))
+
+
+def test_state_type_lookup_roundtrip():
+    for t in STATE_TYPES:
+        assert state_type(t.type_id) is t
+        assert type_for_placement(t.slots, t.start_slot) is t
+
+
+def test_state_type_invalid_ids():
+    with pytest.raises(ValueError):
+        state_type(0)
+    with pytest.raises(ValueError):
+        state_type(16)
+    with pytest.raises(ValueError):
+        type_for_placement(3, 1)
+    with pytest.raises(ValueError):
+        type_for_placement(2, 0)
+
+
+@pytest.mark.parametrize(
+    "pointers,slots",
+    [(0, 1), (1, 1), (2, 3), (4, 3), (5, 5), (7, 5), (8, 7), (10, 7), (11, 9), (13, 9)],
+)
+def test_slots_for_pointer_count(pointers, slots):
+    assert slots_for_pointer_count(pointers) == slots
+    assert pointer_capacity(slots) >= pointers
+
+
+def test_slots_for_pointer_count_rejects_overflow():
+    with pytest.raises(ValueError):
+        slots_for_pointer_count(14)
+    with pytest.raises(ValueError):
+        slots_for_pointer_count(-1)
+    with pytest.raises(ValueError):
+        pointer_capacity(2)

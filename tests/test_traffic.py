@@ -1,0 +1,92 @@
+"""Tests for packet and traffic generation."""
+
+import pytest
+
+from repro.traffic import FiveTuple, Packet, TrafficGenerator, TrafficProfile
+
+
+def test_five_tuple_validation():
+    FiveTuple("1.2.3.4", "5.6.7.8", 80, 443, "tcp")
+    with pytest.raises(ValueError):
+        FiveTuple("1.2.3.4", "5.6.7.8", -1, 443, "tcp")
+    with pytest.raises(ValueError):
+        FiveTuple("1.2.3.4", "5.6.7.8", 80, 70000, "tcp")
+
+
+def test_packet_length():
+    packet = Packet(payload=b"abcd", packet_id=3)
+    assert len(packet) == 4
+    assert packet.length == 4
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        TrafficProfile(min_payload_bytes=0)
+    with pytest.raises(ValueError):
+        TrafficProfile(min_payload_bytes=100, max_payload_bytes=50)
+    with pytest.raises(ValueError):
+        TrafficProfile(attack_probability=1.5)
+    with pytest.raises(ValueError):
+        TrafficProfile(max_injected=0)
+
+
+def test_deterministic_stream(small_ruleset):
+    first = TrafficGenerator(small_ruleset, seed=7).packets(20)
+    second = TrafficGenerator(small_ruleset, seed=7).packets(20)
+    assert [p.payload for p in first] == [p.payload for p in second]
+
+
+def test_packet_ids_increase(small_ruleset):
+    generator = TrafficGenerator(small_ruleset, seed=1)
+    packets = generator.packets(10)
+    assert [p.packet_id for p in packets] == list(range(10))
+
+
+def test_payload_sizes_within_bounds(small_ruleset):
+    profile = TrafficProfile(mean_payload_bytes=100, min_payload_bytes=60, max_payload_bytes=200)
+    generator = TrafficGenerator(small_ruleset, profile, seed=2)
+    for packet in generator.packets(100):
+        assert 60 <= len(packet.payload) <= 200 + 200  # appended injections may extend
+
+
+def test_injected_patterns_actually_present(small_ruleset):
+    profile = TrafficProfile(attack_probability=1.0, max_injected=3)
+    generator = TrafficGenerator(small_ruleset, profile, seed=3)
+    for packet in generator.packets(50):
+        assert packet.injected_sids
+        for sid in packet.injected_sids:
+            pattern = next(r.pattern for r in small_ruleset if r.sid == sid)
+            assert pattern in packet.payload
+
+
+def test_attack_probability_zero_injects_nothing(small_ruleset):
+    profile = TrafficProfile(attack_probability=0.0)
+    generator = TrafficGenerator(small_ruleset, profile, seed=4)
+    assert all(not p.injected_sids for p in generator.packets(30))
+
+
+def test_generator_without_ruleset():
+    generator = TrafficGenerator(None, TrafficProfile(attack_probability=1.0), seed=5)
+    packets = generator.packets(5)
+    assert all(not p.injected_sids for p in packets)
+
+
+def test_headers_are_plausible(small_ruleset):
+    generator = TrafficGenerator(small_ruleset, seed=6)
+    packet = generator.packet()
+    assert packet.header is not None
+    assert packet.header.protocol in ("tcp", "udp")
+    assert 0 <= packet.header.dst_port <= 65535
+
+
+def test_stream_iterator(small_ruleset):
+    generator = TrafficGenerator(small_ruleset, seed=8)
+    stream = generator.stream()
+    packets = [next(stream) for _ in range(5)]
+    assert len(packets) == 5
+    assert packets[-1].packet_id == 4
+
+
+def test_negative_count_rejected(small_ruleset):
+    with pytest.raises(ValueError):
+        TrafficGenerator(small_ruleset).packets(-1)

@@ -1,0 +1,90 @@
+"""Unit tests for the keyword trie."""
+
+import pytest
+
+from repro.automata.trie import ROOT, Trie
+
+
+def test_empty_trie_has_only_root():
+    trie = Trie()
+    assert trie.num_states == 1
+    assert trie.num_patterns == 0
+    assert trie.depth[ROOT] == 0
+    assert trie.label[ROOT] == -1
+
+
+def test_add_single_pattern_creates_chain():
+    trie = Trie()
+    pid = trie.add_pattern(b"abc")
+    assert pid == 0
+    assert trie.num_states == 4
+    node = trie.find_node(b"abc")
+    assert node is not None
+    assert trie.depth[node] == 3
+    assert trie.outputs[node] == [0]
+    assert trie.string_of(node) == b"abc"
+
+
+def test_shared_prefix_shares_states():
+    trie = Trie.from_patterns([b"abcd", b"abxy"])
+    # root + a + b + (c + d) + (x + y)
+    assert trie.num_states == 1 + 2 + 2 + 2
+    assert trie.find_node(b"ab") is not None
+
+
+def test_duplicate_patterns_share_terminal_state():
+    trie = Trie()
+    first = trie.add_pattern(b"dup")
+    second = trie.add_pattern(b"dup")
+    assert first != second
+    node = trie.find_node(b"dup")
+    assert trie.outputs[node] == [first, second]
+
+
+def test_empty_pattern_rejected():
+    trie = Trie()
+    with pytest.raises(ValueError):
+        trie.add_pattern(b"")
+
+
+def test_non_bytes_pattern_rejected():
+    trie = Trie()
+    with pytest.raises(TypeError):
+        trie.add_pattern("text")  # type: ignore[arg-type]
+
+
+def test_goto_and_find_node():
+    trie = Trie.from_patterns([b"hello"])
+    assert trie.goto(ROOT, ord("h")) is not None
+    assert trie.goto(ROOT, ord("x")) is None
+    assert trie.find_node(b"hel") is not None
+    assert trie.find_node(b"help") is None
+
+
+def test_bfs_order_is_by_depth():
+    trie = Trie.from_patterns([b"he", b"she", b"his", b"hers"])
+    order = list(trie.iter_bfs())
+    assert order[0] == ROOT
+    depths = [trie.depth[s] for s in order]
+    assert depths == sorted(depths)
+    assert len(order) == trie.num_states
+
+
+def test_states_at_depth_and_stats():
+    trie = Trie.from_patterns([b"he", b"she", b"his", b"hers"])
+    assert trie.num_states == 10  # root + 9 (classic Aho-Corasick example)
+    assert len(trie.states_at_depth(1)) == 2  # 'h' and 's'
+    stats = trie.stats()
+    assert stats.num_states == 10
+    assert stats.num_patterns == 4
+    assert stats.total_pattern_bytes == len(b"heshehishers")
+    assert stats.max_depth == 4
+    assert stats.states_per_depth[0] == 1
+
+
+def test_parent_and_label_relations():
+    trie = Trie.from_patterns([b"cat", b"car"])
+    node = trie.find_node(b"cat")
+    parent = trie.parent[node]
+    assert trie.string_of(parent) == b"ca"
+    assert trie.label[node] == ord("t")

@@ -1,0 +1,64 @@
+"""Tests for the Wu-Manber multi-pattern baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import AhoCorasickDFA, WuManber
+
+
+def reference(patterns, data):
+    return sorted(AhoCorasickDFA.from_patterns(patterns).match(data))
+
+
+class TestWuManber:
+    def test_simple_match(self):
+        wm = WuManber([b"abcd", b"efgh"])
+        assert sorted(wm.match(b"xxabcdxxefgh")) == [(6, 0), (12, 1)]
+
+    def test_short_patterns_handled(self):
+        wm = WuManber([b"a", b"xyz"], block_size=2)
+        matches = wm.match(b"a xyz a")
+        assert (1, 0) in matches and (7, 0) in matches and (5, 1) in matches
+
+    def test_block_size_three(self):
+        patterns = [b"abcdef", b"zzzzz"]
+        wm = WuManber(patterns, block_size=3)
+        assert sorted(wm.match(b"__abcdef__zzzzz")) == reference(patterns, b"__abcdef__zzzzz")
+
+    def test_overlapping_matches(self):
+        wm = WuManber([b"aaa", b"aa"])
+        data = b"aaaa"
+        assert sorted(wm.match(data)) == reference([b"aaa", b"aa"], data)
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            WuManber([])
+        with pytest.raises(ValueError):
+            WuManber([b""])
+        with pytest.raises(ValueError):
+            WuManber([b"ok"], block_size=0)
+
+    def test_memory_accounting(self):
+        wm = WuManber([b"abcd", b"bcde"])
+        assert wm.memory_bytes() > 0
+
+    def test_agrees_with_dfa_on_ruleset(self, small_ruleset, rng):
+        from tests.conftest import text_with_patterns
+
+        patterns = small_ruleset.patterns[:50]
+        wm = WuManber(patterns)
+        data = text_with_patterns(rng, patterns, length=4000)
+        assert sorted(wm.match(data)) == reference(patterns, data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    patterns=st.lists(
+        st.binary(min_size=1, max_size=6), min_size=1, max_size=10, unique=True
+    ),
+    data=st.binary(max_size=300),
+)
+def test_wu_manber_matches_dfa_property(patterns, data):
+    wm = WuManber(patterns)
+    assert sorted(wm.match(data)) == reference(patterns, data)
