@@ -1,0 +1,103 @@
+"""E13 — streaming flow scan: throughput vs concurrent-flow count.
+
+Not a paper artefact: this measures the flow-scan subsystem layered on top of
+the compiled automaton.  Interleaved multi-packet flows (each carrying one
+pattern deliberately split across a segment boundary) are pushed through a
+sharded :class:`repro.streaming.ScanService`, sweeping the number of
+concurrent flows.  Reported per point: scan throughput, cross-segment
+detection rate, and flow-table behaviour — including an over-capacity point
+where LRU eviction kicks in.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.core import compile_ruleset
+from repro.fpga import STRATIX_III
+from repro.rulesets import generate_snort_like_ruleset
+from repro.streaming import ScanService, StreamScanner
+from repro.traffic import TrafficGenerator
+
+BENCH_SEED = 2010
+RULESET_SIZE = 200
+SEGMENTS_PER_FLOW = 4
+SEGMENT_BYTES = 128
+NUM_SHARDS = 4
+
+#: (concurrent flows, per-shard flow-table capacity); the last point forces
+#: LRU eviction by giving the table room for only half the flows.
+SWEEP = ((16, 4096), (64, 4096), (256, 4096), (512, 4096), (512, 64))
+
+
+def test_streaming_flow_scaling(benchmark, write_result):
+    ruleset = generate_snort_like_ruleset(RULESET_SIZE, seed=BENCH_SEED)
+    program = compile_ruleset(ruleset, STRATIX_III)
+    sid_of = program.string_number_to_sid()
+
+    # pre-generate every workload so the timed region is scanning only
+    workloads = {}
+    for flow_count, capacity in SWEEP:
+        generator = TrafficGenerator(ruleset, seed=BENCH_SEED + flow_count + capacity)
+        flows = generator.flows(
+            flow_count,
+            num_packets=SEGMENTS_PER_FLOW,
+            split_patterns=1,
+            segment_bytes=SEGMENT_BYTES,
+        )
+        workloads[(flow_count, capacity)] = (
+            flows,
+            TrafficGenerator.interleave(flows),
+        )
+
+    def sweep():
+        rows = []
+        for flow_count, capacity in SWEEP:
+            flows, packets = workloads[(flow_count, capacity)]
+            service = ScanService(
+                program, num_shards=NUM_SHARDS, flow_capacity_per_shard=capacity
+            )
+            start = time.perf_counter()
+            result = service.scan(packets)
+            elapsed = time.perf_counter() - start
+
+            detected = 0
+            events_by_flow = result.events_by_flow()
+            for flow in flows:
+                key = StreamScanner.flow_key(flow.packets[0])
+                streamed = {
+                    sid_of[event.string_number]
+                    for event in events_by_flow.get(key, ())
+                }
+                detected += all(sid in streamed for sid in flow.split_sids)
+            rows.append(
+                {
+                    "flows": flow_count,
+                    "capacity/shard": capacity,
+                    "packets": result.packets,
+                    "kbytes": round(result.bytes_scanned / 1024, 1),
+                    "mbit_per_s": round(result.bytes_scanned * 8 / elapsed / 1e6, 2),
+                    "events": len(result.events),
+                    "cross_segment": service.cross_segment_matches,
+                    "split_detected": f"{detected}/{flow_count}",
+                    "active_flows": service.active_flows,
+                    "evicted": service.evicted_flows,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    write_result(
+        "streaming_flow_scaling.txt",
+        format_table(rows, title="Streaming scan throughput vs concurrent flows"),
+    )
+
+    by_key = {(row["flows"], row["capacity/shard"]): row for row in rows}
+    # with ample flow-table capacity every split pattern is caught statefully
+    for flow_count, capacity in SWEEP[:-1]:
+        row = by_key[(flow_count, capacity)]
+        assert row["split_detected"] == f"{flow_count}/{flow_count}"
+        assert row["evicted"] == 0
+        assert row["cross_segment"] >= flow_count
+    # the over-capacity point must actually exercise LRU eviction
+    assert by_key[(512, 64)]["evicted"] > 0
+    assert by_key[(512, 64)]["active_flows"] <= NUM_SHARDS * 64

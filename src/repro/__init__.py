@@ -10,18 +10,39 @@ The package is organised as:
 * :mod:`repro.rulesets` — synthetic Snort-like rulesets (the paper's workload);
 * :mod:`repro.hardware` — cycle-level simulation of the engines/blocks;
 * :mod:`repro.fpga`     — device, resource, power and throughput models;
-* :mod:`repro.traffic`  — packets and traffic generation;
+* :mod:`repro.traffic`  — packets, multi-packet flows and traffic generation;
+* :mod:`repro.streaming`— stateful flow scanning: cross-packet matching, the
+  LRU flow table and the sharded scan service;
 * :mod:`repro.ids`      — an end-to-end mini intrusion detection pipeline;
 * :mod:`repro.analysis` — the metrics behind every table and figure.
 
-Quick start::
+Quick start — compile a synthetic ruleset and scan a payload:
 
-    from repro import generate_snort_like_ruleset, compile_ruleset, STRATIX_III
+    >>> from repro import generate_snort_like_ruleset, compile_ruleset, STRATIX_III
+    >>> ruleset = generate_snort_like_ruleset(64, seed=7)
+    >>> program = compile_ruleset(ruleset, STRATIX_III)
+    >>> program.blocks_per_group
+    1
+    >>> program.throughput_gbps > 40.0
+    True
+    >>> pattern = ruleset[0].pattern
+    >>> (2 + len(pattern), 0) in program.match(b">>" + pattern + b"<<")
+    True
 
-    ruleset = generate_snort_like_ruleset(634)
-    program = compile_ruleset(ruleset, STRATIX_III)
-    print(program.throughput_gbps, program.total_memory_bytes())
-    print(program.match(b"... packet payload ..."))
+Streaming: a pattern split across packets of one flow is missed by the
+per-packet scan but found by the stateful scan service:
+
+    >>> from repro import ScanService, TrafficGenerator
+    >>> flow = TrafficGenerator(ruleset, seed=5).flow(num_packets=3, split_patterns=1)
+    >>> result = ScanService(program, num_shards=2).scan(flow.packets)
+    >>> streamed = {ruleset[e.string_number].sid for e in result.events}
+    >>> set(flow.split_sids) <= streamed
+    True
+    >>> per_packet = {ruleset[number].sid
+    ...               for packet in flow.packets
+    ...               for _, number in program.match(packet.payload)}
+    >>> set(flow.split_sids) & per_packet
+    set()
 """
 
 from .automata import (
@@ -38,6 +59,7 @@ from .core import (
     DefaultTransitionTable,
     MatchMemory,
     PackedStateMachine,
+    ScanState,
     build_default_transition_table,
     compile_ruleset,
     pack_state_machine,
@@ -61,7 +83,16 @@ from .rulesets import (
     reduce_ruleset,
     reduce_to_character_count,
 )
-from .traffic import Packet, TrafficGenerator, TrafficProfile
+from .streaming import (
+    FlowEntry,
+    FlowKey,
+    FlowTable,
+    ScanService,
+    StreamMatch,
+    StreamScanner,
+    StreamScanResult,
+)
+from .traffic import GeneratedFlow, Packet, TrafficGenerator, TrafficProfile
 
 __version__ = "0.1.0"
 
@@ -77,6 +108,7 @@ __all__ = [
     "DefaultTransitionTable",
     "MatchMemory",
     "PackedStateMachine",
+    "ScanState",
     "build_default_transition_table",
     "compile_ruleset",
     "pack_state_machine",
@@ -98,6 +130,14 @@ __all__ = [
     "parse_rule",
     "reduce_ruleset",
     "reduce_to_character_count",
+    "FlowEntry",
+    "FlowKey",
+    "FlowTable",
+    "ScanService",
+    "StreamMatch",
+    "StreamScanner",
+    "StreamScanResult",
+    "GeneratedFlow",
     "Packet",
     "TrafficGenerator",
     "TrafficProfile",

@@ -6,6 +6,7 @@ figure can be regenerated from a shell:
 * ``generate-ruleset`` — synthesise a Snort-like ruleset and dump it to disk;
 * ``compile``          — compile a ruleset for a device and print statistics;
 * ``scan``             — run the cycle-level hardware model over synthetic traffic;
+* ``scan-stream``      — stateful flow scanning: patterns split across packets;
 * ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
 * ``fig6`` / ``fig7`` / ``fig8``       — regenerate the paper's figures as text.
 """
@@ -33,6 +34,7 @@ from .fpga.devices import CYCLONE_III, DEVICES, STRATIX_III, get_device
 from .hardware.accelerator import HardwareAccelerator
 from .rulesets.generator import generate_paper_rulesets, generate_snort_like_ruleset
 from .rulesets.reducer import reduce_to_character_count
+from .streaming.service import ScanService
 from .traffic.generator import TrafficGenerator, TrafficProfile
 
 
@@ -92,6 +94,55 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     print(f"bytes per engine cycle : {result.bytes_per_engine_cycle:.3f}")
     print(f"match events           : {len(result.events)}")
     print(f"nominal throughput     : {accelerator.nominal_throughput_gbps():.1f} Gbps")
+    return 0
+
+
+def _cmd_scan_stream(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
+    program = compile_ruleset(ruleset, device)
+    service = ScanService(
+        program, num_shards=args.shards, flow_capacity_per_shard=args.flow_capacity
+    )
+    generator = TrafficGenerator(ruleset, seed=args.seed + 1)
+    flows = generator.flows(
+        args.flows,
+        num_packets=args.packets_per_flow,
+        split_patterns=1,
+        split_segments=args.split_segments,
+        segment_bytes=args.segment_bytes,
+    )
+    packets = TrafficGenerator.interleave(flows)
+    result = service.scan(packets)
+
+    # ground truth: every flow carries one deliberately split pattern
+    sid_of = program.string_number_to_sid()
+    events_by_flow = result.events_by_flow()
+    found_split = 0
+    stateless_split = 0
+    for flow in flows:
+        key = service.engines[0].flow_key(flow.packets[0])
+        streamed = {sid_of[event.string_number] for event in events_by_flow.get(key, ())}
+        stateless = {
+            sid_of[number]
+            for packet in flow.packets
+            for _, number in program.match(packet.payload)
+        }
+        for sid in flow.split_sids:
+            found_split += sid in streamed
+            stateless_split += sid in stateless
+
+    print(
+        f"scanned {result.packets} packets / {len(flows)} flows "
+        f"({result.bytes_scanned} bytes) on {service.num_shards} shard(s)"
+    )
+    print(f"match events              : {len(result.events)}")
+    print(f"cross-segment matches     : {service.cross_segment_matches}")
+    print(f"split patterns detected   : {found_split}/{len(flows)} (streaming)")
+    print(f"split patterns detected   : {stateless_split}/{len(flows)} (per-packet scan)")
+    print(f"active flows              : {service.active_flows}")
+    print(f"evicted flows             : {service.evicted_flows}")
+    print(f"shard occupancy           : {service.shard_occupancy()}")
     return 0
 
 
@@ -198,6 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--payload", type=int, default=300, help="mean payload bytes")
     scan.add_argument("--attack-rate", type=float, default=0.3)
     scan.set_defaults(handler=_cmd_scan)
+
+    scan_stream = subparsers.add_parser(
+        "scan-stream", help="stateful flow scanning with cross-packet patterns"
+    )
+    _add_ruleset_arguments(scan_stream)
+    scan_stream.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
+    scan_stream.add_argument("--flows", type=int, default=24, help="concurrent flows")
+    scan_stream.add_argument("--packets-per-flow", type=int, default=4)
+    scan_stream.add_argument(
+        "--split-segments", type=int, default=2, choices=(2, 3),
+        help="segments each injected pattern is split across",
+    )
+    scan_stream.add_argument("--segment-bytes", type=int, default=None)
+    scan_stream.add_argument("--shards", type=int, default=4, help="scan engine pool size")
+    scan_stream.add_argument("--flow-capacity", type=int, default=4096,
+                             help="LRU flow-table capacity per shard")
+    scan_stream.set_defaults(handler=_cmd_scan_stream)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table I")
     table1.set_defaults(handler=_cmd_table1)

@@ -15,6 +15,7 @@ from .default_transitions import (
 from .dtp_automaton import (
     HARDWARE_MAX_POINTERS,
     DTPAutomaton,
+    ScanState,
     StagedPointerCounts,
     staged_pointer_counts,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "build_default_transition_table",
     "HARDWARE_MAX_POINTERS",
     "DTPAutomaton",
+    "ScanState",
     "StagedPointerCounts",
     "staged_pointer_counts",
     "LOOKUP_TABLE_WORDS",

@@ -24,7 +24,12 @@ from ..fpga.devices import FPGADevice
 from ..fpga.throughput import accelerator_throughput_gbps, block_throughput_gbps
 from ..rulesets.ruleset import RuleSet
 from .default_transitions import build_default_transition_table
-from .dtp_automaton import HARDWARE_MAX_POINTERS, DTPAutomaton, StagedPointerCounts
+from .dtp_automaton import (
+    HARDWARE_MAX_POINTERS,
+    DTPAutomaton,
+    ScanState,
+    StagedPointerCounts,
+)
 from .lookup_table import EncodedLookupTable, encode_lookup_table
 from .match_memory import MATCH_MEMORY_WORDS, MatchMemory
 from .memory_layout import PackedStateMachine, PackingError, pack_state_machine
@@ -80,6 +85,16 @@ class BlockProgram:
             (position, self.string_numbers[pattern_id])
             for position, pattern_id in self.dtp.match(payload)
         ]
+
+    def scan_from(
+        self, scan_state: ScanState, chunk: bytes
+    ) -> Tuple[MatchList, ScanState]:
+        """Resumable scan (see :meth:`DTPAutomaton.scan_from`), global numbers."""
+        raw, next_state = self.dtp.scan_from(scan_state, chunk)
+        return (
+            [(position, self.string_numbers[pattern_id]) for position, pattern_id in raw],
+            next_state,
+        )
 
 
 @dataclass
@@ -157,6 +172,40 @@ class AcceleratorProgram:
 
     def scan_packets(self, payloads: Iterable[bytes]) -> List[MatchList]:
         return [self.match(payload) for payload in payloads]
+
+    # ------------------------------------------------------------------
+    # streaming (flow-oriented) scanning
+    # ------------------------------------------------------------------
+    def initial_scan_states(self) -> Tuple[ScanState, ...]:
+        """Fresh per-block scan states for one new flow.
+
+        The blocks of a group hold disjoint string groups and each scans the
+        whole byte stream, so a flow's resumable state is one
+        :class:`ScanState` per block.
+        """
+        return tuple(ScanState() for _ in self.blocks)
+
+    def scan_from(
+        self, states: Sequence[ScanState], chunk: bytes
+    ) -> Tuple[MatchList, Tuple[ScanState, ...]]:
+        """Scan one segment of a flow, resuming every block from ``states``.
+
+        Returns stream-absolute ``(end_offset, string_number)`` matches plus
+        the per-block states to carry into the flow's next segment.  Chunked
+        scanning is equivalent to :meth:`match` over the concatenated stream.
+        """
+        if len(states) != len(self.blocks):
+            raise ValueError(
+                f"expected {len(self.blocks)} per-block scan states, got {len(states)}"
+            )
+        matches: MatchList = []
+        next_states: List[ScanState] = []
+        for block, state in zip(self.blocks, states):
+            block_matches, next_state = block.scan_from(state, chunk)
+            matches.extend(block_matches)
+            next_states.append(next_state)
+        matches.sort()
+        return matches, tuple(next_states)
 
     def string_number_to_sid(self) -> Dict[int, int]:
         """Map global string numbers back to rule sids."""

@@ -44,6 +44,33 @@ MatchList = List[Tuple[int, int]]
 #: (Section IV.A); the packer enforces this limit.
 HARDWARE_MAX_POINTERS = 13
 
+
+@dataclass(frozen=True)
+class ScanState:
+    """Resumable matcher state carried across chunks of one byte stream.
+
+    The DTP automaton needs three registers to resume mid-stream: the current
+    state and the previous two input bytes (the lookup-table defaults compare
+    their stored preceding characters against that history).  ``offset``
+    counts the bytes already consumed so resumed matches report stream-wide
+    end positions.  Instances are immutable, so checkpointing a flow is just
+    keeping a reference.
+    """
+
+    state: int = ROOT
+    prev1: Optional[int] = None
+    prev2: Optional[int] = None
+    offset: int = 0
+
+    def as_tuple(self) -> Tuple[int, Optional[int], Optional[int], int]:
+        """A plain, JSON-serialisable form for flow-table checkpoints."""
+        return (self.state, self.prev1, self.prev2, self.offset)
+
+    @classmethod
+    def from_tuple(cls, values: Sequence[Optional[int]]) -> "ScanState":
+        state, prev1, prev2, offset = values
+        return cls(state=int(state), prev1=prev1, prev2=prev2, offset=int(offset))
+
 _CHUNK_STATES = 8192  # chunk size for the vectorised pruning pass
 
 
@@ -219,18 +246,39 @@ class DTPAutomaton:
 
     def match(self, data: bytes) -> MatchList:
         """Scan one packet payload; history resets at the packet boundary."""
+        matches, _ = self.scan_from(ScanState(), data)
+        return matches
+
+    def initial_scan_state(self) -> ScanState:
+        """The state a fresh flow starts in (root state, empty byte history)."""
+        return ScanState()
+
+    def scan_from(self, scan_state: ScanState, chunk: bytes) -> Tuple[MatchList, ScanState]:
+        """Scan ``chunk`` resuming from ``scan_state``; return matches + new state.
+
+        Feeding the segments of one byte stream through consecutive
+        ``scan_from`` calls is exactly equivalent to one :meth:`match` over
+        the concatenated stream: the returned state carries the automaton
+        state *and* the two-byte history the default-transition lookup needs,
+        so patterns straddling a segment boundary are still found.  Match end
+        offsets are stream-absolute (``scan_state.offset`` + position in
+        ``chunk``).
+        """
         matches: MatchList = []
-        state = ROOT
-        prev1: Optional[int] = None
-        prev2: Optional[int] = None
+        state = scan_state.state
+        prev1 = scan_state.prev1
+        prev2 = scan_state.prev2
+        base = scan_state.offset
         outputs = self.outputs
-        for position, byte in enumerate(data):
+        for position, byte in enumerate(chunk):
             state = self.step(state, byte, prev1, prev2)
             if outputs[state]:
-                matches.extend((position + 1, pid) for pid in outputs[state])
+                matches.extend((base + position + 1, pid) for pid in outputs[state])
             prev2 = prev1
             prev1 = byte
-        return matches
+        return matches, ScanState(
+            state=state, prev1=prev1, prev2=prev2, offset=base + len(chunk)
+        )
 
     def iter_states(self, data: bytes) -> Iterator[int]:
         """Yield the state after each byte (mirrors ``AhoCorasickDFA.iter_states``)."""

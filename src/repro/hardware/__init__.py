@@ -2,7 +2,7 @@
 
 from .accelerator import AcceleratorScanResult, HardwareAccelerator
 from .block import ENGINES_PER_BLOCK, ENGINES_PER_PORT, BlockScanResult, StringMatchingBlock
-from .engine import EngineMatch, EngineStatistics, StringMatchingEngine
+from .engine import EngineFlowState, EngineMatch, EngineStatistics, StringMatchingEngine
 from .image import BlockImage, LookupEntry, StateEntry, build_block_image
 from .memory import DualPortMemory, PortOversubscribedError, PortStatistics
 from .scheduler import MatchScheduler, SchedulerStatistics
@@ -14,6 +14,7 @@ __all__ = [
     "ENGINES_PER_PORT",
     "BlockScanResult",
     "StringMatchingBlock",
+    "EngineFlowState",
     "EngineMatch",
     "EngineStatistics",
     "StringMatchingEngine",

@@ -35,6 +35,23 @@ class EngineMatch:
     match_address: int        # address in the matching-string-number memory
 
 
+@dataclass(frozen=True)
+class EngineFlowState:
+    """Checkpoint of an engine's architectural registers between segments.
+
+    Saving these four registers when a flow's segment ends and restoring them
+    when its next segment is scheduled (possibly on a different engine) makes
+    the engine behave as if the flow's byte stream had never been
+    interrupted — the hardware analogue of
+    :class:`repro.core.dtp_automaton.ScanState`.
+    """
+
+    address: StateAddress
+    prev1: Optional[int]
+    prev2: Optional[int]
+    offset: int
+
+
 @dataclass
 class EngineStatistics:
     cycles: int = 0
@@ -82,6 +99,26 @@ class StringMatchingEngine:
         self._prev2 = None
         self._packet_id = packet_id
         self._offset = 0
+
+    def export_flow_state(self) -> EngineFlowState:
+        """Checkpoint the registers of the flow currently occupying the engine."""
+        if self._packet_id is None:
+            raise RuntimeError("no packet in flight; nothing to checkpoint")
+        return EngineFlowState(
+            address=self._current_address,
+            prev1=self._prev1,
+            prev2=self._prev2,
+            offset=self._offset,
+        )
+
+    def resume_flow(self, state: EngineFlowState, packet_id: int) -> None:
+        """Load a checkpointed flow: restore registers instead of resetting them."""
+        self._current_address = state.address
+        self._current_entry = self.image.states[state.address]
+        self._prev1 = state.prev1
+        self._prev2 = state.prev2
+        self._packet_id = packet_id
+        self._offset = state.offset
 
     def process_byte(self, byte: int, cycle: int) -> Optional[EngineMatch]:
         """Consume one payload byte during engine ``cycle``.

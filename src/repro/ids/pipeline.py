@@ -22,6 +22,8 @@ from ..fpga.devices import FPGADevice, STRATIX_III
 from ..hardware.accelerator import HardwareAccelerator
 from ..rulesets.parser import SnortRuleSpec
 from ..rulesets.ruleset import PatternRule, RuleSet
+from ..streaming.flow import DEFAULT_FLOW_CAPACITY, FlowEntry
+from ..streaming.scanner import StreamScanner
 from ..traffic.packet import Packet
 from .classifier import HeaderClassifier, HeaderPattern
 
@@ -118,6 +120,8 @@ class IntrusionDetectionSystem:
         self.accelerator: Optional[HardwareAccelerator] = (
             HardwareAccelerator(self.program) if use_hardware_model else None
         )
+        self._flow_scanner: Optional[StreamScanner] = None
+        self._flow_capacity = DEFAULT_FLOW_CAPACITY
 
     # ------------------------------------------------------------------
     @classmethod
@@ -201,5 +205,84 @@ class IntrusionDetectionSystem:
                             action=rule.action,
                         )
                     )
+                    self.stats.alerts_raised += 1
+        return alerts
+
+    # ------------------------------------------------------------------
+    # stateful (streaming) scanning
+    # ------------------------------------------------------------------
+    @property
+    def flow_scanner(self) -> StreamScanner:
+        """The lazily created stateful scanner backing :meth:`scan_flow`."""
+        if self._flow_scanner is None:
+            self._flow_scanner = StreamScanner(
+                self.program,
+                capacity=self._flow_capacity,
+                track_nocase=bool(self._nocase_patterns),
+            )
+        return self._flow_scanner
+
+    def reset_flows(self, capacity: Optional[int] = None) -> None:
+        """Drop all tracked flow state (optionally resizing the flow table)."""
+        if capacity is not None:
+            self._flow_capacity = capacity
+        self._flow_scanner = None
+
+    def _flow_contents_found(self, entry: FlowEntry) -> Set[bytes]:
+        """Content strings confirmed so far in one flow's byte stream."""
+        found = {self._number_to_pattern[number] for number in entry.matched}
+        for number in entry.matched_lower:
+            pattern = self._number_to_pattern[number]
+            if pattern in self._nocase_patterns:
+                found.add(pattern)
+        return found
+
+    def scan_flow(self, packets: Sequence[Packet]) -> List[Alert]:
+        """Run the pipeline statefully: packets are flow segments, in order.
+
+        Unlike :meth:`process`, the content matcher resumes each flow's
+        automaton state (keyed by the packet 5-tuple) across segments, so a
+        rule string split across consecutive packets of one flow still
+        completes, and a multi-content rule may gather its strings over
+        several segments.  Each rule alerts at most once per tracked flow,
+        at the packet where its last required content completed; flow state
+        evicted under memory pressure restarts from scratch.
+
+        Content matching always uses the software automaton here, even when
+        the IDS was built with ``use_hardware_model=True`` (which only
+        affects :meth:`process`): the cycle-level model scans whole packets
+        per engine, while the per-engine flow checkpointing it would need is
+        exposed (:meth:`repro.hardware.StringMatchingEngine.resume_flow`)
+        but not yet driven by a flow-aware hardware scheduler.
+        """
+        scanner = self.flow_scanner
+        alerts: List[Alert] = []
+        for packet in packets:
+            self.stats.packets_processed += 1
+            self.stats.payload_bytes += len(packet.payload)
+            events = scanner.scan_packet(packet)
+            # distinct strings per packet, matching process()'s accounting
+            self.stats.content_matches += len({e.string_number for e in events})
+            entry = scanner.flows.peek(scanner.flow_key(packet))
+            assert entry is not None  # scan_packet just created/refreshed it
+            candidates = self.classifier.classify(packet.header)
+            self.stats.header_candidates += len(candidates)
+            if not candidates:
+                continue
+            found = self._flow_contents_found(entry)
+            for sid in candidates:
+                if sid in entry.alerted:
+                    continue
+                rule = self.rules[sid]
+                if all(content in found for content in rule.contents):
+                    alerts.append(
+                        Alert(
+                            packet_id=packet.packet_id,
+                            sid=sid,
+                            msg=rule.msg,
+                            action=rule.action,
+                        )
+                    )
+                    entry.alerted.add(sid)
                     self.stats.alerts_raised += 1
         return alerts

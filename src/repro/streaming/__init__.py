@@ -1,0 +1,40 @@
+"""Streaming flow-scan subsystem: stateful cross-packet matching at scale.
+
+The per-packet scan path (:meth:`repro.core.AcceleratorProgram.match`,
+:class:`repro.hardware.HardwareAccelerator`) resets the automaton at every
+packet boundary, so a pattern split across consecutive TCP segments of one
+flow is silently missed.  This package adds the layer a production line card
+puts on top of the matcher:
+
+* :mod:`repro.streaming.flow`    — flow identity, the per-flow resumable
+  state record and a bounded LRU :class:`FlowTable` with checkpointing;
+* :mod:`repro.streaming.scanner` — a :class:`StreamScanner` that loads/stores
+  flow state around each segment scan (one engine multiplexing many flows);
+* :mod:`repro.streaming.service` — a hash-sharded :class:`ScanService`
+  dispatching batches across a pool of scanners with aggregate reporting.
+"""
+
+from .flow import (
+    DEFAULT_FLOW_CAPACITY,
+    FlowEntry,
+    FlowKey,
+    FlowTable,
+    FlowTableStatistics,
+)
+from .scanner import ANONYMOUS_FLOW, ScannerStatistics, StreamMatch, StreamScanner
+from .service import ScanService, ShardReport, StreamScanResult
+
+__all__ = [
+    "DEFAULT_FLOW_CAPACITY",
+    "FlowEntry",
+    "FlowKey",
+    "FlowTable",
+    "FlowTableStatistics",
+    "ANONYMOUS_FLOW",
+    "ScannerStatistics",
+    "StreamMatch",
+    "StreamScanner",
+    "ScanService",
+    "ShardReport",
+    "StreamScanResult",
+]

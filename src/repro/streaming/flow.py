@@ -1,0 +1,238 @@
+"""Flow identity and the LRU flow-state table.
+
+Real DPI line cards scan *flows*, not packets: a pattern may straddle the
+boundary between consecutive TCP segments, and millions of concurrent flows
+must share a handful of engines.  The flow table keeps, per live flow, the
+resumable per-block :class:`repro.core.ScanState` registers (automaton state
+plus two-byte history) so that scanning can pick up exactly where the flow's
+previous segment left off.
+
+Memory is bounded: the table holds at most ``capacity`` flows and evicts the
+least recently scanned one when full (an evicted flow that sends more traffic
+simply restarts from the root state, the standard trade-off in flow-state
+engines).  The whole table can be checkpointed to a plain JSON-serialisable
+dict and restored later — per-flow state is tiny (a few integers per block),
+which is what makes checkpointing and migration across engines cheap.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.dtp_automaton import ScanState
+from ..traffic.packet import FiveTuple
+
+#: Default maximum number of concurrently tracked flows per table.
+DEFAULT_FLOW_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Hashable flow identity derived from the packet 5-tuple.
+
+    Deliberately a separate type from :class:`repro.traffic.FiveTuple`, even
+    though the fields coincide today: the header is a *record* of what was on
+    the wire, while the flow key is a *policy* about which packets share scan
+    state — the place where direction normalisation (client/server flows),
+    VLAN/tunnel identifiers or IPv6 scoping would land without touching the
+    packet model.
+    """
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: str
+
+    @classmethod
+    def from_header(cls, header: FiveTuple) -> "FlowKey":
+        return cls(
+            src_ip=header.src_ip,
+            dst_ip=header.dst_ip,
+            src_port=header.src_port,
+            dst_port=header.dst_port,
+            protocol=header.protocol,
+        )
+
+    def as_tuple(self) -> Tuple[str, str, int, int, str]:
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.protocol)
+
+    def encode(self) -> bytes:
+        """Stable byte encoding used for shard hashing and checkpoints."""
+        return "|".join(str(part) for part in self.as_tuple()).encode()
+
+
+@dataclass
+class FlowEntry:
+    """Everything remembered about one live flow between segments.
+
+    ``states`` holds one :class:`ScanState` per block of the compiled
+    program; ``lower_states`` is the parallel state over the lower-cased view
+    of the stream (allocated only when case-insensitive patterns exist).
+    ``matched`` / ``matched_lower`` accumulate the global string numbers seen
+    so far and ``alerted`` the rule sids already reported, so multi-content
+    rules can complete across segments without duplicate alerts.
+    """
+
+    key: FlowKey
+    states: Tuple[ScanState, ...]
+    lower_states: Optional[Tuple[ScanState, ...]] = None
+    packets: int = 0
+    matched: Set[int] = field(default_factory=set)
+    matched_lower: Set[int] = field(default_factory=set)
+    alerted: Set[int] = field(default_factory=set)
+
+    @property
+    def bytes_scanned(self) -> int:
+        return self.states[0].offset if self.states else 0
+
+    def as_dict(self) -> Dict:
+        """JSON-serialisable checkpoint of this flow."""
+        return {
+            "key": list(self.key.as_tuple()),
+            "states": [state.as_tuple() for state in self.states],
+            "lower_states": (
+                None
+                if self.lower_states is None
+                else [state.as_tuple() for state in self.lower_states]
+            ),
+            "packets": self.packets,
+            "matched": sorted(self.matched),
+            "matched_lower": sorted(self.matched_lower),
+            "alerted": sorted(self.alerted),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FlowEntry":
+        return cls(
+            key=FlowKey(*data["key"]),
+            states=tuple(ScanState.from_tuple(values) for values in data["states"]),
+            lower_states=(
+                None
+                if data.get("lower_states") is None
+                else tuple(
+                    ScanState.from_tuple(values) for values in data["lower_states"]
+                )
+            ),
+            packets=int(data.get("packets", 0)),
+            matched=set(data.get("matched", ())),
+            matched_lower=set(data.get("matched_lower", ())),
+            alerted=set(data.get("alerted", ())),
+        )
+
+
+@dataclass
+class FlowTableStatistics:
+    lookups: int = 0
+    hits: int = 0
+    created: int = 0
+    evicted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class FlowTable:
+    """Bounded LRU table of :class:`FlowEntry` keyed by :class:`FlowKey`."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_FLOW_CAPACITY,
+        on_evict: Optional[Callable[[FlowEntry], None]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self.stats = FlowTableStatistics()
+        self._entries: "OrderedDict[FlowKey, FlowEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[FlowKey]:
+        """Flow keys, least recently used first."""
+        return list(self._entries)
+
+    def peek(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Like :meth:`lookup` but touching neither recency nor statistics."""
+        return self._entries.get(key)
+
+    def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Return the entry for ``key`` (refreshing its recency) or ``None``."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def get_or_create(
+        self, key: FlowKey, factory: Callable[[FlowKey], FlowEntry]
+    ) -> FlowEntry:
+        """Fetch the live entry for ``key``, creating (and possibly evicting)."""
+        entry = self.lookup(key)
+        if entry is not None:
+            return entry
+        entry = factory(key)
+        self.insert(entry)
+        return entry
+
+    def insert(self, entry: FlowEntry) -> None:
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        self.stats.created += 1
+        while len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.evicted += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
+
+    def remove(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Drop a flow (e.g. on TCP FIN/RST); not counted as an eviction."""
+        return self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """Serialise the whole table (LRU order preserved) to plain data."""
+        return {
+            "capacity": self.capacity,
+            "flows": [entry.as_dict() for entry in self._entries.values()],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        data: Dict,
+        capacity: Optional[int] = None,
+        on_evict: Optional[Callable[[FlowEntry], None]] = None,
+    ) -> "FlowTable":
+        """Rebuild a table from :meth:`checkpoint` data.
+
+        ``capacity`` overrides the checkpointed capacity (e.g. restoring into
+        a service configured with a different memory bound); when the
+        checkpoint holds more flows than fit, the least recently used ones
+        are dropped.
+        """
+        table = cls(
+            capacity=int(data["capacity"]) if capacity is None else capacity,
+            on_evict=on_evict,
+        )
+        flows = data["flows"]
+        if len(flows) > table.capacity:
+            flows = flows[len(flows) - table.capacity:]  # keep the MRU tail
+        for flow in flows:
+            entry = FlowEntry.from_dict(flow)
+            table._entries[entry.key] = entry
+        return table

@@ -1,0 +1,166 @@
+"""Stateful flow scanning over one compiled accelerator program.
+
+A :class:`StreamScanner` is the software model of one string matching engine
+that has been taught to multiplex flows: before scanning a segment it loads
+the flow's checkpointed :class:`repro.core.ScanState` registers from its
+:class:`repro.streaming.flow.FlowTable`, and afterwards it stores them back.
+Because the state carries the two-byte history the default-transition lookup
+table compares against, a pattern split across consecutive segments of a flow
+is found exactly as if the segments had arrived as one contiguous payload —
+the property the per-packet :meth:`AcceleratorProgram.match` path cannot
+provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.accelerator_config import AcceleratorProgram
+from ..core.dtp_automaton import ScanState
+from ..traffic.packet import Packet
+from .flow import DEFAULT_FLOW_CAPACITY, FlowEntry, FlowKey, FlowTable
+
+#: Flow key used when a packet carries no 5-tuple header (treated as one
+#: anonymous flow so bare payload streams can still be scanned statefully).
+ANONYMOUS_FLOW = FlowKey("0.0.0.0", "0.0.0.0", 0, 0, "raw")
+
+
+@dataclass(frozen=True)
+class StreamMatch:
+    """A match found while scanning a flow segment.
+
+    ``end_offset`` is the position one past the match's final byte in the
+    *flow's* byte stream (not the segment), so a cross-segment match reports
+    an offset beyond the current segment's start.  ``lowered`` marks hits
+    found in the lower-cased view of the stream (case-insensitive scanning).
+    """
+
+    flow: FlowKey
+    packet_id: int
+    end_offset: int
+    string_number: int
+    lowered: bool = False
+
+
+@dataclass
+class ScannerStatistics:
+    segments: int = 0
+    bytes_scanned: int = 0
+    matches: int = 0
+    cross_segment_matches: int = 0
+
+
+class StreamScanner:
+    """One flow-multiplexing scan engine around an :class:`AcceleratorProgram`.
+
+    ``capacity`` sizes the internally created flow table and is ignored when
+    an explicit ``flow_table`` is supplied (the table's own bound applies).
+    """
+
+    def __init__(
+        self,
+        program: AcceleratorProgram,
+        flow_table: Optional[FlowTable] = None,
+        capacity: int = DEFAULT_FLOW_CAPACITY,
+        track_nocase: bool = False,
+    ):
+        self.program = program
+        self.flows = flow_table if flow_table is not None else FlowTable(capacity)
+        self.track_nocase = track_nocase
+        self.stats = ScannerStatistics()
+        self._pattern_length = {
+            index: len(rule.pattern) for index, rule in enumerate(program.ruleset)
+        }
+
+    # ------------------------------------------------------------------
+    def _new_entry(self, key: FlowKey) -> FlowEntry:
+        return FlowEntry(
+            key=key,
+            states=self.program.initial_scan_states(),
+            lower_states=(
+                self.program.initial_scan_states() if self.track_nocase else None
+            ),
+        )
+
+    @staticmethod
+    def flow_key(packet: Packet) -> FlowKey:
+        return (
+            FlowKey.from_header(packet.header)
+            if packet.header is not None
+            else ANONYMOUS_FLOW
+        )
+
+    # ------------------------------------------------------------------
+    def scan_packet(self, packet: Packet) -> List[StreamMatch]:
+        """Scan one packet as the next segment of its flow."""
+        return self.scan_segment(self.flow_key(packet), packet.payload, packet.packet_id)
+
+    def scan_segment(
+        self, key: FlowKey, payload: bytes, packet_id: int = 0
+    ) -> List[StreamMatch]:
+        """Scan ``payload`` as the next segment of flow ``key``."""
+        entry = self.flows.get_or_create(key, self._new_entry)
+        segment_start = entry.bytes_scanned
+
+        raw, entry.states = self.program.scan_from(entry.states, payload)
+        matches = [
+            StreamMatch(flow=key, packet_id=packet_id, end_offset=offset, string_number=number)
+            for offset, number in raw
+        ]
+        entry.matched.update(number for _, number in raw)
+
+        if self.track_nocase:
+            if entry.lower_states is None:
+                # e.g. a flow restored from a checkpoint written without
+                # nocase tracking: restart the lowered view rather than
+                # silently never matching case-insensitively again.  Seed it
+                # at the raw stream offset so lowered matches keep reporting
+                # flow-absolute positions (and dedup against raw hits works).
+                entry.lower_states = tuple(
+                    ScanState(offset=segment_start) for _ in self.program.blocks
+                )
+            lowered, entry.lower_states = self.program.scan_from(
+                entry.lower_states, payload.lower()
+            )
+            # an occurrence that is already lower-case matches in both views;
+            # report it once (the raw event) so statistics are not inflated
+            raw_hits = set(raw)
+            lowered = [hit for hit in lowered if hit not in raw_hits]
+            matches.extend(
+                StreamMatch(
+                    flow=key,
+                    packet_id=packet_id,
+                    end_offset=offset,
+                    string_number=number,
+                    lowered=True,
+                )
+                for offset, number in lowered
+            )
+            entry.matched_lower.update(number for _, number in lowered)
+
+        entry.packets += 1
+        self.stats.segments += 1
+        self.stats.bytes_scanned += len(payload)
+        self.stats.matches += len(matches)
+        for match in matches:
+            # the match ends in this segment but started before it
+            if match.end_offset - self._pattern_length[match.string_number] < segment_start:
+                self.stats.cross_segment_matches += 1
+        return matches
+
+    def scan_packets(self, packets: Sequence[Packet]) -> List[StreamMatch]:
+        """Scan a batch of packets in arrival order (flows may interleave)."""
+        matches: List[StreamMatch] = []
+        for packet in packets:
+            matches.extend(self.scan_packet(packet))
+        return matches
+
+    # ------------------------------------------------------------------
+    def close_flow(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Forget a finished flow and return its final entry, if tracked."""
+        return self.flows.remove(key)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self.flows)

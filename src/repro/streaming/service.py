@@ -1,0 +1,188 @@
+"""Sharded flow-scan service: many flows multiplexed over an engine pool.
+
+The paper's accelerator exposes independent packet groups that scan distinct
+packets concurrently; at system level a line card must therefore decide
+*which* engine sees which packet.  The service makes that decision the way
+production flow engines do: flows are hash-partitioned over a pool of
+scan engines (one :class:`repro.streaming.scanner.StreamScanner` per shard,
+each with its own bounded :class:`FlowTable`), so every packet of a flow
+always lands on the same shard and the flow's resumable automaton state never
+has to move.  Batched dispatch groups an arrival batch by shard while
+preserving per-flow arrival order, mirroring the per-packet-group round-robin
+of :class:`repro.hardware.HardwareAccelerator` but at flow granularity.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.accelerator_config import AcceleratorProgram
+from ..traffic.packet import Packet
+from .flow import DEFAULT_FLOW_CAPACITY, FlowKey, FlowTable
+from .scanner import StreamMatch, StreamScanner
+
+
+@dataclass
+class ShardReport:
+    """Per-shard slice of a :class:`StreamScanResult`.
+
+    ``packets``/``bytes_scanned``/``matches``/``evicted_flows`` count this
+    batch only (summable across reports); ``active_flows`` is a gauge — the
+    shard's live flow count when the batch finished.
+    """
+
+    shard: int
+    packets: int
+    bytes_scanned: int
+    matches: int
+    active_flows: int
+    evicted_flows: int
+
+
+@dataclass
+class StreamScanResult:
+    """Aggregate outcome of one batched scan across all shards."""
+
+    events: List[StreamMatch]
+    packets: int
+    bytes_scanned: int
+    shards: List[ShardReport] = field(default_factory=list)
+
+    def events_for_flow(self, flow: FlowKey) -> List[StreamMatch]:
+        return [event for event in self.events if event.flow == flow]
+
+    def events_by_flow(self) -> Dict[FlowKey, List[StreamMatch]]:
+        """All events grouped by flow in one pass (cheaper than repeated
+        :meth:`events_for_flow` when iterating over many flows)."""
+        grouped: Dict[FlowKey, List[StreamMatch]] = {}
+        for event in self.events:
+            grouped.setdefault(event.flow, []).append(event)
+        return grouped
+
+
+class ScanService:
+    """Hash-sharded, stateful scanning front-end over one compiled program.
+
+    Every shard owns a full copy of the compiled automaton (mirroring the
+    replicated packet groups on the device) plus a private flow table, so
+    shards share nothing and could run on separate cores or processes.
+    """
+
+    def __init__(
+        self,
+        program: AcceleratorProgram,
+        num_shards: int = 4,
+        flow_capacity_per_shard: int = DEFAULT_FLOW_CAPACITY,
+        track_nocase: bool = False,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.program = program
+        self.num_shards = num_shards
+        self.engines: List[StreamScanner] = [
+            StreamScanner(
+                program,
+                FlowTable(flow_capacity_per_shard),
+                track_nocase=track_nocase,
+            )
+            for _ in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    def shard_for(self, key: FlowKey) -> int:
+        """Stable flow -> shard mapping (CRC32 of the canonical 5-tuple)."""
+        return zlib.crc32(key.encode()) % self.num_shards
+
+    def submit(self, packet: Packet) -> List[StreamMatch]:
+        """Scan a single packet on its flow's shard."""
+        key = StreamScanner.flow_key(packet)
+        return self.engines[self.shard_for(key)].scan_segment(
+            key, packet.payload, packet.packet_id
+        )
+
+    def scan(self, packets: Sequence[Packet]) -> StreamScanResult:
+        """Batched dispatch: group ``packets`` by shard, scan, aggregate.
+
+        Grouping preserves each flow's arrival order (all packets of a flow
+        hash to the same shard and the batch is walked front to back), which
+        is what keeps cross-segment state consistent.
+        """
+        batches: Dict[int, List[Tuple[FlowKey, Packet]]] = {}
+        for packet in packets:
+            key = StreamScanner.flow_key(packet)
+            batches.setdefault(self.shard_for(key), []).append((key, packet))
+
+        events: List[StreamMatch] = []
+        shard_reports: List[ShardReport] = []
+        total_bytes = 0
+        for shard, engine in enumerate(self.engines):
+            batch = batches.get(shard, [])
+            before_matches = engine.stats.matches
+            before_evicted = engine.flows.stats.evicted
+            batch_bytes = 0
+            for key, packet in batch:
+                events.extend(engine.scan_segment(key, packet.payload, packet.packet_id))
+                batch_bytes += len(packet.payload)
+            total_bytes += batch_bytes
+            shard_reports.append(
+                ShardReport(
+                    shard=shard,
+                    packets=len(batch),
+                    bytes_scanned=batch_bytes,
+                    matches=engine.stats.matches - before_matches,
+                    active_flows=engine.active_flows,
+                    evicted_flows=engine.flows.stats.evicted - before_evicted,
+                )
+            )
+        events.sort(key=lambda e: (e.packet_id, e.end_offset, e.string_number))
+        return StreamScanResult(
+            events=events,
+            packets=len(packets),
+            bytes_scanned=total_bytes,
+            shards=shard_reports,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return sum(engine.active_flows for engine in self.engines)
+
+    @property
+    def evicted_flows(self) -> int:
+        return sum(engine.flows.stats.evicted for engine in self.engines)
+
+    @property
+    def cross_segment_matches(self) -> int:
+        return sum(engine.stats.cross_segment_matches for engine in self.engines)
+
+    def shard_occupancy(self) -> List[int]:
+        """Live flow count per shard (how even the hash partitioning is)."""
+        return [engine.active_flows for engine in self.engines]
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """Serialise every shard's flow table to plain data."""
+        return {
+            "num_shards": self.num_shards,
+            "shards": [engine.flows.checkpoint() for engine in self.engines],
+        }
+
+    def restore(self, data: Dict) -> None:
+        """Restore flow state saved by :meth:`checkpoint` (same sharding).
+
+        Each shard keeps its *configured* flow capacity — a checkpoint from a
+        larger table never silently raises this service's memory bound.
+        """
+        if int(data["num_shards"]) != self.num_shards:
+            raise ValueError(
+                f"checkpoint has {data['num_shards']} shards, service has {self.num_shards}"
+            )
+        if len(data["shards"]) != self.num_shards:
+            raise ValueError(
+                f"checkpoint lists {len(data['shards'])} shard tables, "
+                f"expected {self.num_shards}"
+            )
+        for engine, shard_data in zip(self.engines, data["shards"]):
+            engine.flows = FlowTable.restore(shard_data, capacity=engine.flows.capacity)

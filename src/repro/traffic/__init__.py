@@ -1,9 +1,10 @@
 """Packets and synthetic traffic generation."""
 
-from .generator import TrafficGenerator, TrafficProfile
+from .generator import GeneratedFlow, TrafficGenerator, TrafficProfile
 from .packet import FiveTuple, MatchEvent, Packet
 
 __all__ = [
+    "GeneratedFlow",
     "TrafficGenerator",
     "TrafficProfile",
     "FiveTuple",

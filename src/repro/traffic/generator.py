@@ -9,10 +9,10 @@ strings at known offsets.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..rulesets.ruleset import RuleSet
+from ..rulesets.ruleset import PatternRule, RuleSet
 from .packet import FiveTuple, Packet
 
 _PROTOCOLS = ("tcp", "udp")
@@ -45,6 +45,31 @@ class TrafficProfile:
             raise ValueError("attack_probability must be in [0, 1]")
         if self.max_injected < 1:
             raise ValueError("max_injected must be at least 1")
+
+
+@dataclass
+class GeneratedFlow:
+    """A multi-packet flow emitted by :meth:`TrafficGenerator.flow`.
+
+    All packets share one 5-tuple header.  ``injected_sids`` is the ground
+    truth of every rule string embedded in the flow's byte stream;
+    ``split_sids`` is the subset whose pattern was deliberately cut across
+    consecutive segments, so per-packet scanning misses it while stateful
+    flow scanning must find it.
+    """
+
+    header: FiveTuple
+    packets: List[Packet]
+    injected_sids: List[int] = field(default_factory=list)
+    split_sids: List[int] = field(default_factory=list)
+
+    @property
+    def payload(self) -> bytes:
+        """The reassembled byte stream of the whole flow."""
+        return b"".join(packet.payload for packet in self.packets)
+
+    def __len__(self) -> int:
+        return len(self.packets)
 
 
 class TrafficGenerator:
@@ -121,6 +146,160 @@ class TrafficGenerator:
         """Endless packet stream."""
         while True:
             yield self.packet()
+
+    # ------------------------------------------------------------------
+    # multi-packet flows (segments of one byte stream)
+    # ------------------------------------------------------------------
+    def flow(
+        self,
+        num_packets: int = 4,
+        split_patterns: int = 1,
+        split_segments: int = 2,
+        whole_patterns: int = 0,
+        segment_bytes: Optional[int] = None,
+    ) -> GeneratedFlow:
+        """Generate one flow of ``num_packets`` segments sharing a 5-tuple.
+
+        ``split_patterns`` rule strings are deliberately cut across
+        ``split_segments`` (2 or 3) consecutive segments: the head of the
+        pattern ends one segment, the tail opens a later one (for three
+        segments the middle segment consists of nothing but the pattern's
+        middle fragment).  The reassembled :attr:`GeneratedFlow.payload`
+        therefore contains each split pattern contiguously while no single
+        packet does — the adversarial case for per-packet scanning.
+        ``whole_patterns`` additionally embeds rule strings entirely inside
+        single segments (detectable either way).
+        """
+        if num_packets < 1:
+            raise ValueError("num_packets must be at least 1")
+        if split_segments not in (2, 3):
+            raise ValueError("split_segments must be 2 or 3")
+        if split_patterns > 0 and num_packets < split_segments:
+            raise ValueError(
+                f"a {split_segments}-segment split needs at least {split_segments} packets"
+            )
+        if (split_patterns or whole_patterns) and not self.ruleset:
+            raise ValueError("injections require a ruleset")
+        rng = self._rng
+
+        # 1. plan the splits: non-overlapping runs of consecutive segments
+        split_plans: List[Tuple[int, PatternRule, Tuple[int, ...]]] = []
+        used_segments: set = set()
+        if split_patterns:
+            candidates = [
+                rule for rule in self.ruleset if len(rule.pattern) >= split_segments
+            ]
+            if not candidates:
+                raise ValueError(
+                    f"no rule pattern is long enough to span {split_segments} segments"
+                )
+            starts = list(range(0, num_packets - split_segments + 1))
+            rng.shuffle(starts)
+            for start in starts:
+                if len(split_plans) == split_patterns:
+                    break
+                span = range(start, start + split_segments)
+                if any(segment in used_segments for segment in span):
+                    continue
+                rule = candidates[rng.randrange(len(candidates))]
+                length = len(rule.pattern)
+                if split_segments == 2:
+                    cuts: Tuple[int, ...] = (rng.randint(1, length - 1),)
+                else:
+                    first = rng.randint(1, length - 2)
+                    cuts = (first, rng.randint(first + 1, length - 1))
+                split_plans.append((start, rule, cuts))
+                used_segments.update(span)
+            if len(split_plans) < split_patterns:
+                raise ValueError(
+                    f"cannot place {split_patterns} non-overlapping "
+                    f"{split_segments}-segment splits in {num_packets} packets"
+                )
+
+        # middle segments of 3-way splits are replaced outright below
+        replaced = {
+            start + 1 for start, _, cuts in split_plans if len(cuts) == 2
+        }
+
+        # 2. background bytes for every segment
+        payloads = [
+            bytearray(self._background_bytes(segment_bytes or self._payload_size()))
+            for _ in range(num_packets)
+        ]
+        per_packet_sids: List[List[int]] = [[] for _ in range(num_packets)]
+        injected: List[int] = []
+
+        # 3. whole patterns, inserted inside one segment (never a replaced one)
+        for _ in range(whole_patterns):
+            segment = rng.choice([i for i in range(num_packets) if i not in replaced])
+            rule = self.ruleset[rng.randrange(len(self.ruleset))]
+            offset = rng.randint(0, len(payloads[segment]))
+            payloads[segment][offset:offset] = rule.pattern
+            per_packet_sids[segment].append(rule.sid)
+            injected.append(rule.sid)
+
+        # 4. apply the splits at the segment boundaries
+        split_sids: List[int] = []
+        for start, rule, cuts in split_plans:
+            pattern = rule.pattern
+            if len(cuts) == 1:
+                cut = cuts[0]
+                payloads[start] += pattern[:cut]
+                payloads[start + 1][0:0] = pattern[cut:]
+                end_segment = start + 1
+            else:
+                first, second = cuts
+                payloads[start] += pattern[:first]
+                payloads[start + 1] = bytearray(pattern[first:second])
+                payloads[start + 2][0:0] = pattern[second:]
+                end_segment = start + 2
+            per_packet_sids[end_segment].append(rule.sid)
+            injected.append(rule.sid)
+            split_sids.append(rule.sid)
+
+        header = self._header()
+        packets = []
+        for payload, sids in zip(payloads, per_packet_sids):
+            packets.append(
+                Packet(
+                    payload=bytes(payload),
+                    header=header,
+                    packet_id=self._next_id,
+                    injected_sids=sids,
+                )
+            )
+            self._next_id += 1
+        return GeneratedFlow(
+            header=header,
+            packets=packets,
+            injected_sids=injected,
+            split_sids=split_sids,
+        )
+
+    def flows(self, count: int, **kwargs) -> List[GeneratedFlow]:
+        """Generate ``count`` independent flows (see :meth:`flow`)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.flow(**kwargs) for _ in range(count)]
+
+    @staticmethod
+    def interleave(flows: Sequence[GeneratedFlow]) -> List[Packet]:
+        """Round-robin merge: one packet per flow per round, order preserved.
+
+        This is the arrival pattern a scan service sees: segments of many
+        concurrent flows interleaved, with each flow's own segments in order.
+        """
+        merged: List[Packet] = []
+        round_index = 0
+        remaining = True
+        while remaining:
+            remaining = False
+            for flow in flows:
+                if round_index < len(flow.packets):
+                    merged.append(flow.packets[round_index])
+                    remaining = True
+            round_index += 1
+        return merged
 
     # ------------------------------------------------------------------
     def _payload_size(self) -> int:

@@ -8,8 +8,8 @@ from repro.cli import build_parser, main
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("generate-ruleset", "compile", "scan", "table1", "table2", "table3",
-                    "fig6", "fig7", "fig8"):
+    for command in ("generate-ruleset", "compile", "scan", "scan-stream",
+                    "table1", "table2", "table3", "fig6", "fig7", "fig8"):
         assert command in text
 
 
@@ -39,6 +39,22 @@ def test_scan_command(capsys):
     out = capsys.readouterr().out
     assert "bytes per engine cycle" in out
     assert "nominal throughput" in out
+
+
+def test_scan_stream_command(capsys):
+    assert main(["scan-stream", "--size", "40", "--seed", "5", "--flows", "6",
+                 "--packets-per-flow", "3", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "6/6 (streaming)" in out
+    assert "0/6 (per-packet scan)" in out
+    assert "shard occupancy" in out
+
+
+def test_scan_stream_three_segment_split(capsys):
+    assert main(["scan-stream", "--size", "40", "--seed", "6", "--flows", "4",
+                 "--packets-per-flow", "4", "--split-segments", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 (streaming)" in out
 
 
 def test_table1_command(capsys):
