@@ -1,0 +1,201 @@
+"""Backend sweep: throughput / compile time / memory for every registered backend.
+
+Sweeps all matcher backends over a set of payload sizes and writes the
+machine-readable ``BENCH_backends.json`` so the performance trajectory of the
+scan hot path is tracked run over run (CI uploads the smoke-mode artifact on
+every push).  The headline number is the compiled dense-table fast path
+against the interpreted DTP scan: ``dense_vs_dtp_speedup_largest`` must stay
+comfortably above 3x.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_backends.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke    # CI smoke
+
+or through pytest (smoke-sized, asserts the artifact structure):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backends.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend import backend_names, get_backend
+from repro.rulesets import generate_snort_like_ruleset
+from repro.traffic import TrafficGenerator, TrafficProfile
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_backends.json"
+
+BENCH_SEED = 2010
+FULL_RULESET_SIZE = 500
+FULL_PAYLOAD_SIZES = (4_096, 65_536, 524_288)
+SMOKE_RULESET_SIZE = 40
+SMOKE_PAYLOAD_SIZES = (2_048,)
+
+#: 324-bit words — the paper's state-machine memory unit (Section IV.A).
+WORD_BITS = 324
+
+
+def build_payload(ruleset, size: int, seed: int = BENCH_SEED) -> bytes:
+    """Deterministic synthetic traffic bytes for one payload size."""
+    generator = TrafficGenerator(
+        ruleset,
+        TrafficProfile(mean_payload_bytes=1400, attack_probability=0.3),
+        seed=seed,
+    )
+    data = bytearray()
+    while len(data) < size:
+        data += generator.packet().payload
+    return bytes(data[:size])
+
+
+def memory_estimate_bytes(program) -> Optional[int]:
+    """Best-effort memory footprint of a compiled program."""
+    for attribute in ("memory_bytes", "total_memory_bytes"):
+        estimator = getattr(program, attribute, None)
+        if estimator is not None:
+            return int(estimator())
+    return None
+
+
+def bench_backend(
+    name: str, ruleset, payloads: Dict[int, bytes], repeats: int
+) -> Dict:
+    backend = get_backend(name)
+    compile_start = time.perf_counter()
+    program = backend.compile(ruleset.patterns)
+    compile_seconds = time.perf_counter() - compile_start
+
+    memory = memory_estimate_bytes(program)
+    sweeps: List[Dict] = []
+    for size, payload in payloads.items():
+        best = float("inf")
+        matches = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            matches = len(program.match(payload))
+            best = min(best, time.perf_counter() - start)
+        sweeps.append(
+            {
+                "payload_bytes": size,
+                "seconds": best,
+                "mb_per_s": size / best / 1e6,
+                "matches": matches,
+            }
+        )
+    return {
+        "compile_seconds": compile_seconds,
+        "memory_bytes": memory,
+        "memory_words_324": None if memory is None else -(-memory * 8 // WORD_BITS),
+        "sweeps": sweeps,
+    }
+
+
+def run_sweep(
+    smoke: bool = False,
+    backends: Optional[Sequence[str]] = None,
+    repeats: Optional[int] = None,
+) -> Dict:
+    ruleset_size = SMOKE_RULESET_SIZE if smoke else FULL_RULESET_SIZE
+    payload_sizes = SMOKE_PAYLOAD_SIZES if smoke else FULL_PAYLOAD_SIZES
+    repeats = repeats if repeats is not None else (3 if smoke else 2)
+    names = list(backends) if backends else backend_names()
+
+    ruleset = generate_snort_like_ruleset(ruleset_size, seed=BENCH_SEED)
+    payloads = {size: build_payload(ruleset, size) for size in payload_sizes}
+
+    results = {name: bench_backend(name, ruleset, payloads, repeats) for name in names}
+
+    report = {
+        "generated_by": "benchmarks/bench_backends.py",
+        "mode": "smoke" if smoke else "full",
+        "seed": BENCH_SEED,
+        "ruleset_size": ruleset_size,
+        "payload_sizes": list(payload_sizes),
+        "repeats": repeats,
+        "backends": results,
+    }
+    if "dense" in results and "dtp" in results:
+        dense_largest = results["dense"]["sweeps"][-1]
+        dtp_largest = results["dtp"]["sweeps"][-1]
+        report["dense_vs_dtp_speedup_largest"] = (
+            dtp_largest["seconds"] / dense_largest["seconds"]
+        )
+    return report
+
+
+def format_report(report: Dict) -> str:
+    lines = [
+        f"backend sweep ({report['mode']}): {report['ruleset_size']} strings, "
+        f"payloads {report['payload_sizes']}"
+    ]
+    header = f"{'backend':10s} {'compile_ms':>10s} {'mem_bytes':>10s} " + " ".join(
+        f"{size // 1024}KiB MB/s".rjust(12) for size in report["payload_sizes"]
+    )
+    lines.append(header)
+    for name, entry in report["backends"].items():
+        memory = entry["memory_bytes"]
+        lines.append(
+            f"{name:10s} {entry['compile_seconds'] * 1e3:10.1f} "
+            f"{'-' if memory is None else memory:>10} "
+            + " ".join(f"{sweep['mb_per_s']:12.2f}" for sweep in entry["sweeps"])
+        )
+    speedup = report.get("dense_vs_dtp_speedup_largest")
+    if speedup is not None:
+        lines.append(f"dense vs dtp speedup on largest payload: {speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, output: pathlib.Path) -> pathlib.Path:
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return output
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny ruleset/payloads for CI smoke runs")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--backends", nargs="*", default=None,
+                        help="subset of backends (default: all registered)")
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    report = run_sweep(smoke=args.smoke, backends=args.backends, repeats=args.repeats)
+    path = write_report(report, args.output)
+    print(format_report(report))
+    print(f"wrote {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (smoke-sized so the full benchmark run stays fast)
+# ----------------------------------------------------------------------
+def test_backend_sweep_smoke(results_dir):
+    report = run_sweep(smoke=True)
+    path = write_report(report, results_dir / "BENCH_backends_smoke.json")
+    assert path.exists()
+    assert set(report["backends"]) == set(backend_names())
+    for entry in report["backends"].values():
+        assert entry["sweeps"], "every backend must record at least one sweep"
+        for sweep in entry["sweeps"]:
+            assert sweep["mb_per_s"] > 0
+    # every backend reports the identical match count on the same payload
+    counts = {
+        name: [sweep["matches"] for sweep in entry["sweeps"]]
+        for name, entry in report["backends"].items()
+    }
+    assert len({tuple(v) for v in counts.values()}) == 1, counts
+    # the compiled fast path must beat the interpreted DTP scan
+    assert report["dense_vs_dtp_speedup_largest"] > 1.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

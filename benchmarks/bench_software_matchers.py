@@ -4,12 +4,17 @@ Not a figure of the paper, but it grounds its motivation: a pure-software
 multi-pattern scan is orders of magnitude away from line rate, and the
 failure-function automaton's speed depends on the input, which is exactly
 what the guaranteed-rate hardware design removes.
+
+Every registered :mod:`repro.backend` backend is benchmarked through the
+unified protocol (``bench_backends.py`` adds the payload-size sweep and the
+machine-readable artifact); the goto/failure NFA rides along as the one
+matcher deliberately outside the protocol.
 """
 
 import pytest
 
-from repro.automata import AhoCorasickDFA, AhoCorasickNFA, WuManber
-from repro.core import DTPAutomaton
+from repro.automata import AhoCorasickNFA
+from repro.backend import backend_names, get_backend
 from repro.traffic import TrafficGenerator, TrafficProfile
 
 PAYLOAD_BYTES = 40_000
@@ -31,10 +36,11 @@ def workload(paper_family):
     return ruleset, _payload(ruleset)
 
 
-def test_software_dfa_scan(benchmark, workload):
+@pytest.mark.parametrize("backend_name", backend_names())
+def test_software_backend_scan(benchmark, workload, backend_name):
     ruleset, payload = workload
-    dfa = AhoCorasickDFA.from_patterns(ruleset.patterns)
-    result = benchmark(dfa.match, payload)
+    program = get_backend(backend_name).compile(ruleset.patterns)
+    result = benchmark(program.match, payload)
     assert isinstance(result, list)
 
 
@@ -45,22 +51,13 @@ def test_software_nfa_scan(benchmark, workload):
     assert isinstance(result, list)
 
 
-def test_software_dtp_scan(benchmark, workload):
-    ruleset, payload = workload
-    dtp = DTPAutomaton.from_ruleset(ruleset)
-    result = benchmark(dtp.match, payload)
-    assert isinstance(result, list)
-
-
-def test_software_wu_manber_scan(benchmark, workload):
-    ruleset, payload = workload
-    matcher = WuManber(ruleset.patterns)
-    result = benchmark(matcher.match, payload)
-    assert isinstance(result, list)
-
-
 def test_software_matchers_agree(workload):
     ruleset, payload = workload
-    expected = sorted(AhoCorasickDFA.from_patterns(ruleset.patterns).match(payload))
-    assert sorted(DTPAutomaton.from_ruleset(ruleset).match(payload)) == expected
-    assert sorted(WuManber(ruleset.patterns).match(payload)) == expected
+    expected = None
+    for backend_name in backend_names():
+        program = get_backend(backend_name).compile(ruleset.patterns)
+        matches = sorted(program.match(payload))
+        if expected is None:
+            expected = matches
+        assert matches == expected, backend_name
+    assert sorted(AhoCorasickNFA.from_patterns(ruleset.patterns).match(payload)) == expected

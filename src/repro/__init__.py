@@ -3,9 +3,12 @@ Inspection" (Kennedy, Wang, Liu, Liu — DATE 2010).
 
 The package is organised as:
 
+* :mod:`repro.backend`  — the unified :class:`MatcherBackend` /
+  :class:`CompiledProgram` protocol and the registry every scan layer
+  (streaming, IDS, hardware, CLI) is written against;
 * :mod:`repro.core`     — the paper's contribution: the DTP-compressed
-  Aho-Corasick automaton, its memory layout and the ruleset -> accelerator
-  compiler;
+  Aho-Corasick automaton, its memory layout, the ruleset -> accelerator
+  compiler and the compiled dense-table fast path;
 * :mod:`repro.automata` — classic string matching substrates and baselines;
 * :mod:`repro.rulesets` — synthetic Snort-like rulesets (the paper's workload);
 * :mod:`repro.hardware` — cycle-level simulation of the engines/blocks;
@@ -53,13 +56,22 @@ from .automata import (
     Trie,
     WuManber,
 )
+from .backend import (
+    Backend,
+    CompiledProgram,
+    ScanState,
+    all_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .core import (
     AcceleratorProgram,
+    CompiledDenseProgram,
     DTPAutomaton,
     DefaultTransitionTable,
     MatchMemory,
     PackedStateMachine,
-    ScanState,
     build_default_transition_table,
     compile_ruleset,
     pack_state_machine,
@@ -103,7 +115,14 @@ __all__ = [
     "PathCompressedAhoCorasick",
     "Trie",
     "WuManber",
+    "Backend",
+    "CompiledProgram",
+    "all_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "AcceleratorProgram",
+    "CompiledDenseProgram",
     "DTPAutomaton",
     "DefaultTransitionTable",
     "MatchMemory",

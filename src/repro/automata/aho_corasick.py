@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import CompiledProgramMixin, FlowState, ScanState, advance_history
 from .trie import ALPHABET_SIZE, ROOT, Trie
 
 MatchList = List[Tuple[int, int]]  # (end_position, pattern_id)
@@ -124,8 +125,13 @@ class AhoCorasickNFA:
         return self.stored_pointer_count() * pointer_bytes
 
 
-class AhoCorasickDFA:
+class AhoCorasickDFA(CompiledProgramMixin):
     """Full-DFA (move function) Aho-Corasick automaton.
+
+    Implements the :class:`repro.backend.CompiledProgram` protocol (backend
+    name ``"ac"``): the per-flow state is a 1-tuple holding the current DFA
+    state, so chunked :meth:`scan_from` delivery matches exactly like one
+    contiguous :meth:`match`.
 
     Attributes
     ----------
@@ -140,6 +146,8 @@ class AhoCorasickDFA:
         Byte of the state's parent (-1 when the parent is the root or the
         state itself is the root); used by the default-transition machinery.
     """
+
+    backend_name = "ac"
 
     def __init__(self, trie: Trie):
         self.trie = trie
@@ -179,23 +187,37 @@ class AhoCorasickDFA:
                 table[state, byte] = child
         return table
 
+    @property
+    def patterns(self) -> Tuple[bytes, ...]:
+        """The compiled patterns; pattern ids index this tuple."""
+        return tuple(self.trie.patterns)
+
     # ------------------------------------------------------------------
     # matching
     # ------------------------------------------------------------------
     def step(self, state: int, byte: int) -> int:
         return int(self.table[state, byte])
 
-    def match(self, data: bytes) -> MatchList:
-        """Scan ``data``; exactly one transition per input byte."""
+    def _scan_chunk(self, states: FlowState, chunk: bytes) -> Tuple[MatchList, FlowState]:
+        """Scan one stream segment; exactly one transition per input byte.
+
+        This is the single copy of the matching walk — the mixin derives
+        ``match``/``scan``/``scan_from`` from it.
+        """
+        (scan_state,) = states
         matches: MatchList = []
         table = self.table
         outputs = self.outputs
-        state = ROOT
-        for position, byte in enumerate(data):
+        state = scan_state.state
+        base = scan_state.offset
+        for position, byte in enumerate(chunk):
             state = int(table[state, byte])
             if outputs[state]:
-                matches.extend((position + 1, pid) for pid in outputs[state])
-        return matches
+                matches.extend((base + position + 1, pid) for pid in outputs[state])
+        prev1, prev2 = advance_history(scan_state.prev1, scan_state.prev2, chunk)
+        return matches, (
+            ScanState(state=state, prev1=prev1, prev2=prev2, offset=base + len(chunk)),
+        )
 
     def iter_states(self, data: bytes) -> Iterator[int]:
         """Yield the state after each input byte (useful for equivalence tests)."""

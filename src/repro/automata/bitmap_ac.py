@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..backend import CompiledProgramMixin, FlowState, ScanState, advance_history
 from .aho_corasick import AhoCorasickNFA
 from .trie import ROOT, Trie
 
@@ -51,8 +52,17 @@ class BitmapNodeLayout:
         return self.node_bits / 8.0
 
 
-class BitmapAhoCorasick:
-    """Bitmap-compressed AC automaton with failure transitions."""
+class BitmapAhoCorasick(CompiledProgramMixin):
+    """Bitmap-compressed AC automaton with failure transitions.
+
+    Conforms to the :class:`repro.backend.CompiledProgram` protocol (backend
+    name ``"bitmap"``).  Because a failure walk depends only on the current
+    state, the resumable flow state is just the trie state id — but the
+    walk may follow several failure links per byte, which is exactly the
+    property that costs this structure the one-character-per-cycle guarantee.
+    """
+
+    backend_name = "bitmap"
 
     def __init__(self, trie: Trie, layout: Optional[BitmapNodeLayout] = None):
         self.trie = trie
@@ -89,18 +99,29 @@ class BitmapAhoCorasick:
         below = bitmap & ((1 << byte) - 1)
         return self.children_arrays[state][bin(below).count("1")]
 
-    def match(self, data: bytes) -> MatchList:
+    @property
+    def patterns(self) -> Tuple[bytes, ...]:
+        """The compiled patterns; pattern ids index this tuple."""
+        return tuple(self.trie.patterns)
+
+    def _scan_chunk(self, states: FlowState, chunk: bytes) -> Tuple[MatchList, FlowState]:
+        """The failure-walk scan (single copy; the mixin derives ``match``)."""
+        (scan_state,) = states
         matches: MatchList = []
-        state = ROOT
-        for position, byte in enumerate(data):
+        state = scan_state.state
+        base = scan_state.offset
+        for position, byte in enumerate(chunk):
             child = self._child(state, byte)
             while child is None and state != ROOT:
                 state = self.fail[state]
                 child = self._child(state, byte)
             state = child if child is not None else ROOT
             if self.outputs[state]:
-                matches.extend((position + 1, pid) for pid in self.outputs[state])
-        return matches
+                matches.extend((base + position + 1, pid) for pid in self.outputs[state])
+        prev1, prev2 = advance_history(scan_state.prev1, scan_state.prev2, chunk)
+        return matches, (
+            ScanState(state=state, prev1=prev1, prev2=prev2, offset=base + len(chunk)),
+        )
 
     # ------------------------------------------------------------------
     # memory accounting

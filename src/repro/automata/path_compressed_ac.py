@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..backend import CompiledProgramMixin, FlowState, ScanState, advance_history
 from .aho_corasick import AhoCorasickNFA
 from .trie import ROOT, Trie
 
@@ -65,8 +66,15 @@ class _PathNode:
     characters: bytes = b""                # for path nodes
 
 
-class PathCompressedAhoCorasick:
-    """Path-compressed AC automaton built on top of the trie + failure function."""
+class PathCompressedAhoCorasick(CompiledProgramMixin):
+    """Path-compressed AC automaton built on top of the trie + failure function.
+
+    Conforms to the :class:`repro.backend.CompiledProgram` protocol (backend
+    name ``"path"``).  Compression only changes storage, not the state-level
+    walk, so the resumable flow state is the underlying trie state id.
+    """
+
+    backend_name = "path"
 
     def __init__(self, trie: Trie, layout: Optional[PathNodeLayout] = None):
         self.trie = trie
@@ -130,17 +138,28 @@ class PathCompressedAhoCorasick:
     # matching (state-level semantics are unchanged; compression only
     # affects storage, so we scan with the underlying failure automaton)
     # ------------------------------------------------------------------
-    def match(self, data: bytes) -> MatchList:
+    @property
+    def patterns(self) -> Tuple[bytes, ...]:
+        """The compiled patterns; pattern ids index this tuple."""
+        return tuple(self.trie.patterns)
+
+    def _scan_chunk(self, states: FlowState, chunk: bytes) -> Tuple[MatchList, FlowState]:
+        """The failure-walk scan (single copy; the mixin derives ``match``)."""
+        (scan_state,) = states
         trie = self.trie
         matches: MatchList = []
-        state = ROOT
-        for position, byte in enumerate(data):
+        state = scan_state.state
+        base = scan_state.offset
+        for position, byte in enumerate(chunk):
             while state != ROOT and byte not in trie.children[state]:
                 state = self.fail[state]
             state = trie.children[state].get(byte, ROOT)
             if self.outputs[state]:
-                matches.extend((position + 1, pid) for pid in self.outputs[state])
-        return matches
+                matches.extend((base + position + 1, pid) for pid in self.outputs[state])
+        prev1, prev2 = advance_history(scan_state.prev1, scan_state.prev2, chunk)
+        return matches, (
+            ScanState(state=state, prev1=prev1, prev2=prev2, offset=base + len(chunk)),
+        )
 
     # ------------------------------------------------------------------
     # memory accounting

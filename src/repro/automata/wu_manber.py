@@ -11,16 +11,26 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from ..backend import CompiledProgramMixin, FlowState, ScanState, advance_history
+
 MatchList = List[Tuple[int, int]]
 
 
-class WuManber:
+class WuManber(CompiledProgramMixin):
     """Wu-Manber matcher with configurable block size.
 
     ``block_size`` is the classic *B* parameter (2 for small pattern sets,
     3 for large ones).  Patterns shorter than ``block_size`` are handled by a
     dedicated prefix scan so correctness never depends on the block size.
+
+    Conforms to the :class:`repro.backend.CompiledProgram` protocol (backend
+    name ``"wu-manber"``).  Wu-Manber has no automaton state to carry, so the
+    resumable flow state keeps the last ``max_pattern_len - 1`` stream bytes
+    in ``ScanState.tail``; each segment is matched over ``tail + chunk`` and
+    hits ending inside the tail (already reported) are dropped.
     """
+
+    backend_name = "wu-manber"
 
     def __init__(self, patterns: Sequence[bytes], block_size: int = 2):
         if block_size < 1:
@@ -30,7 +40,8 @@ class WuManber:
         for pattern in patterns:
             if len(pattern) == 0:
                 raise ValueError("empty patterns are not allowed")
-        self.patterns = [bytes(p) for p in patterns]
+        self.patterns = tuple(bytes(p) for p in patterns)
+        self._max_length = max(len(p) for p in self.patterns)
         self.block_size = block_size
         self._short_patterns = [
             (i, p) for i, p in enumerate(self.patterns) if len(p) < block_size
@@ -95,6 +106,28 @@ class WuManber:
 
         matches.sort()
         return matches
+
+    def _scan_chunk(self, states: FlowState, chunk: bytes) -> Tuple[MatchList, FlowState]:
+        """Resumable scan of one stream segment via the tail carry buffer."""
+        (scan_state,) = states
+        tail = scan_state.tail or b""
+        buffer = tail + chunk
+        base = scan_state.offset - len(tail)
+        # matches ending at or before len(tail) were reported by the
+        # previous segment's scan; only keep hits completing in this chunk
+        matches = [
+            (base + end, pid) for end, pid in self.match(buffer) if end > len(tail)
+        ]
+        carry = self._max_length - 1
+        prev1, prev2 = advance_history(scan_state.prev1, scan_state.prev2, chunk)
+        return matches, (
+            ScanState(
+                prev1=prev1,
+                prev2=prev2,
+                offset=scan_state.offset + len(chunk),
+                tail=buffer[-carry:] if carry > 0 else b"",
+            ),
+        )
 
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

@@ -5,16 +5,25 @@ figure can be regenerated from a shell:
 
 * ``generate-ruleset`` — synthesise a Snort-like ruleset and dump it to disk;
 * ``compile``          — compile a ruleset for a device and print statistics;
-* ``scan``             — run the cycle-level hardware model over synthetic traffic;
+* ``scan``             — scan synthetic traffic (cycle-level hardware model for
+  the ``dtp`` backend, functional scan for every other backend);
 * ``scan-stream``      — stateful flow scanning: patterns split across packets;
+* ``ids``              — the end-to-end mini IDS over streamed flows;
 * ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
 * ``fig6`` / ``fig7`` / ``fig8``       — regenerate the paper's figures as text.
+
+The ``scan``, ``scan-stream`` and ``ids`` subcommands take ``--backend`` with
+any name from :mod:`repro.backend` (``dtp``, ``dense``, ``bitmap``, ``path``,
+``wu-manber``, ``ac``); every backend is driven through the same
+:class:`repro.backend.CompiledProgram` protocol, so the reported match sets
+are identical by construction.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from .analysis.metrics import (
@@ -29,9 +38,12 @@ from .analysis.metrics import (
     table3_rows,
 )
 from .analysis.tables import ascii_chart, format_histogram, format_table
+from .backend import backend_names, get_backend
 from .core.accelerator_config import compile_ruleset
 from .fpga.devices import CYCLONE_III, DEVICES, STRATIX_III, get_device
 from .hardware.accelerator import HardwareAccelerator
+from .ids.classifier import HeaderPattern
+from .ids.pipeline import IDSRule, IntrusionDetectionSystem
 from .rulesets.generator import generate_paper_rulesets, generate_snort_like_ruleset
 from .rulesets.reducer import reduce_to_character_count
 from .streaming.service import ScanService
@@ -41,6 +53,28 @@ from .traffic.generator import TrafficGenerator, TrafficProfile
 def _add_ruleset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--size", type=int, default=634, help="number of strings")
     parser.add_argument("--seed", type=int, default=2010, help="generation seed")
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="dtp",
+        choices=backend_names(),
+        help="matcher backend (all report identical match sets)",
+    )
+
+
+def _build_program(ruleset, device, backend: str):
+    """Compile ``ruleset`` with ``backend`` through the unified protocol.
+
+    The ``dtp`` backend goes through the full device compiler (partitioning,
+    324-bit word packing) so its program mirrors the hardware; every other
+    backend compiles the bare pattern list.  String numbers follow ruleset
+    order in both cases, so match reports are directly comparable.
+    """
+    if backend == "dtp":
+        return compile_ruleset(ruleset, device)
+    return get_backend(backend).compile(ruleset.patterns)
 
 
 def _cmd_generate_ruleset(args: argparse.Namespace) -> int:
@@ -80,27 +114,48 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_scan(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
-    program = compile_ruleset(ruleset, device)
-    accelerator = HardwareAccelerator(program)
     generator = TrafficGenerator(
         ruleset,
         TrafficProfile(mean_payload_bytes=args.payload, attack_probability=args.attack_rate),
         seed=args.seed + 1,
     )
     packets = generator.packets(args.packets)
-    result = accelerator.scan(packets)
-    print(f"scanned {len(packets)} packets ({result.bytes_processed} bytes)")
-    print(f"engine cycles          : {result.engine_cycles}")
-    print(f"bytes per engine cycle : {result.bytes_per_engine_cycle:.3f}")
-    print(f"match events           : {len(result.events)}")
-    print(f"nominal throughput     : {accelerator.nominal_throughput_gbps():.1f} Gbps")
+
+    if args.backend == "dtp":
+        # the paper's backend runs through the cycle-level hardware model
+        program = compile_ruleset(ruleset, device)
+        accelerator = HardwareAccelerator(program)
+        result = accelerator.scan(packets)
+        print(f"scanned {len(packets)} packets ({result.bytes_processed} bytes)")
+        print(f"engine cycles          : {result.engine_cycles}")
+        print(f"bytes per engine cycle : {result.bytes_per_engine_cycle:.3f}")
+        print(f"match events           : {len(result.events)}")
+        print(f"nominal throughput     : {accelerator.nominal_throughput_gbps():.1f} Gbps")
+        return 0
+
+    # every other backend: functional scan through the unified protocol
+    compile_start = time.perf_counter()
+    program = get_backend(args.backend).compile(ruleset.patterns)
+    compile_seconds = time.perf_counter() - compile_start
+    payloads = [packet.payload for packet in packets]
+    total_bytes = sum(len(payload) for payload in payloads)
+    scan_start = time.perf_counter()
+    per_packet = program.scan_packets(payloads)
+    scan_seconds = time.perf_counter() - scan_start
+    events = sum(len(matches) for matches in per_packet)
+    print(f"scanned {len(packets)} packets ({total_bytes} bytes)")
+    print(f"backend                : {args.backend}")
+    print(f"compile time           : {compile_seconds * 1e3:.1f} ms")
+    print(f"match events           : {events}")
+    if scan_seconds > 0:
+        print(f"software throughput    : {total_bytes / scan_seconds / 1e6:.2f} MB/s")
     return 0
 
 
 def _cmd_scan_stream(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
-    program = compile_ruleset(ruleset, device)
+    program = _build_program(ruleset, device, args.backend)
     service = ScanService(
         program, num_shards=args.shards, flow_capacity_per_shard=args.flow_capacity
     )
@@ -116,7 +171,8 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
     result = service.scan(packets)
 
     # ground truth: every flow carries one deliberately split pattern
-    sid_of = program.string_number_to_sid()
+    # (string numbers follow ruleset order for every backend)
+    sid_of = {index: rule.sid for index, rule in enumerate(ruleset)}
     events_by_flow = result.events_by_flow()
     found_split = 0
     stateless_split = 0
@@ -132,6 +188,7 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
             found_split += sid in streamed
             stateless_split += sid in stateless
 
+    print(f"backend                   : {args.backend}")
     print(
         f"scanned {result.packets} packets / {len(flows)} flows "
         f"({result.bytes_scanned} bytes) on {service.num_shards} shard(s)"
@@ -143,6 +200,53 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
     print(f"active flows              : {service.active_flows}")
     print(f"evicted flows             : {service.evicted_flows}")
     print(f"shard occupancy           : {service.shard_occupancy()}")
+    if args.print_events:
+        # the match report proper: identical for every backend on the same
+        # workload (the equivalence the backend protocol guarantees)
+        print("match report:")
+        for event in result.events:
+            print(
+                f"  packet={event.packet_id} offset={event.end_offset} "
+                f"sid={sid_of[event.string_number]}"
+            )
+    return 0
+
+
+def _cmd_ids(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
+    # one single-content IDS rule per generated string; the wildcard header
+    # keeps every packet a candidate so detection is decided by the matcher
+    rules = [
+        IDSRule(sid=rule.sid, header=HeaderPattern(), contents=(rule.pattern,))
+        for rule in ruleset
+    ]
+    ids = IntrusionDetectionSystem(rules, device=device, backend=args.backend)
+
+    generator = TrafficGenerator(ruleset, seed=args.seed + 1)
+    flows = generator.flows(
+        args.flows, num_packets=args.packets_per_flow, split_patterns=1
+    )
+    packets = TrafficGenerator.interleave(flows)
+    alerts = ids.scan_flow(packets)
+
+    alerted_sids = {alert.sid for alert in alerts}
+    split_detected = sum(
+        1 for flow in flows for sid in flow.split_sids if sid in alerted_sids
+    )
+    split_total = sum(len(flow.split_sids) for flow in flows)
+    print(f"backend              : {args.backend}")
+    print(
+        f"processed {ids.stats.packets_processed} packets / {len(flows)} flows "
+        f"({ids.stats.payload_bytes} payload bytes)"
+    )
+    print(f"rules loaded         : {len(ids.rules)}")
+    print(f"alerts raised        : {len(alerts)}")
+    print(f"split-pattern alerts : {split_detected}/{split_total}")
+    if args.print_alerts:
+        print("alert report:")
+        for alert in alerts:
+            print(f"  packet={alert.packet_id} sid={alert.sid}")
     return 0
 
 
@@ -242,8 +346,9 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
     compile_parser.set_defaults(handler=_cmd_compile)
 
-    scan = subparsers.add_parser("scan", help="run the hardware model over synthetic traffic")
+    scan = subparsers.add_parser("scan", help="scan synthetic traffic with any backend")
     _add_ruleset_arguments(scan)
+    _add_backend_argument(scan)
     scan.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
     scan.add_argument("--packets", type=int, default=60)
     scan.add_argument("--payload", type=int, default=300, help="mean payload bytes")
@@ -254,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
         "scan-stream", help="stateful flow scanning with cross-packet patterns"
     )
     _add_ruleset_arguments(scan_stream)
+    _add_backend_argument(scan_stream)
     scan_stream.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
     scan_stream.add_argument("--flows", type=int, default=24, help="concurrent flows")
     scan_stream.add_argument("--packets-per-flow", type=int, default=4)
@@ -265,7 +371,22 @@ def build_parser() -> argparse.ArgumentParser:
     scan_stream.add_argument("--shards", type=int, default=4, help="scan engine pool size")
     scan_stream.add_argument("--flow-capacity", type=int, default=4096,
                              help="LRU flow-table capacity per shard")
+    scan_stream.add_argument("--print-events", action="store_true",
+                             help="print every match event (backend-independent report)")
     scan_stream.set_defaults(handler=_cmd_scan_stream)
+
+    ids = subparsers.add_parser(
+        "ids", help="run the mini IDS pipeline over streamed flows"
+    )
+    ids.add_argument("--size", type=int, default=80, help="number of strings")
+    ids.add_argument("--seed", type=int, default=2010, help="generation seed")
+    _add_backend_argument(ids)
+    ids.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
+    ids.add_argument("--flows", type=int, default=12, help="concurrent flows")
+    ids.add_argument("--packets-per-flow", type=int, default=3)
+    ids.add_argument("--print-alerts", action="store_true",
+                     help="print every alert (backend-independent report)")
+    ids.set_defaults(handler=_cmd_ids)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table I")
     table1.set_defaults(handler=_cmd_table1)

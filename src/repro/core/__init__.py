@@ -6,6 +6,7 @@ from .accelerator_config import (
     CompilationError,
     compile_ruleset,
 )
+from .compiled import CompiledDenseProgram
 from .default_transitions import (
     DefaultTransitionTable,
     DepthThreeDefault,
@@ -61,6 +62,7 @@ __all__ = [
     "BlockProgram",
     "CompilationError",
     "compile_ruleset",
+    "CompiledDenseProgram",
     "DefaultTransitionTable",
     "DepthThreeDefault",
     "DepthTwoDefault",

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..automata.aho_corasick import AhoCorasickDFA
+from ..backend import CompiledProgramMixin, FlowState
 from ..fpga.devices import FPGADevice
 from ..fpga.throughput import accelerator_throughput_gbps, block_throughput_gbps
 from ..rulesets.ruleset import RuleSet
@@ -98,14 +99,22 @@ class BlockProgram:
 
 
 @dataclass
-class AcceleratorProgram:
-    """A compiled accelerator configuration for one device."""
+class AcceleratorProgram(CompiledProgramMixin):
+    """A compiled accelerator configuration for one device.
+
+    Conforms to the :class:`repro.backend.CompiledProgram` protocol (backend
+    name ``"dtp"``): the per-flow state is one :class:`ScanState` per block
+    of the group, since every block holds a disjoint string group and scans
+    the whole byte stream.
+    """
 
     device: FPGADevice
     ruleset: RuleSet
     blocks: List[BlockProgram]
     partition: PartitionPlan
     d2_slots: int = 4
+
+    backend_name = "dtp"
 
     @property
     def blocks_per_group(self) -> int:
@@ -162,6 +171,11 @@ class AcceleratorProgram:
     # ------------------------------------------------------------------
     # functional scanning (software reference for the hardware simulation)
     # ------------------------------------------------------------------
+    @property
+    def patterns(self) -> Tuple[bytes, ...]:
+        """The compiled patterns; string numbers index this tuple."""
+        return tuple(rule.pattern for rule in self.ruleset)
+
     def match(self, payload: bytes) -> MatchList:
         """Scan one payload against the full ruleset (all blocks of one group)."""
         matches: MatchList = []
@@ -176,18 +190,12 @@ class AcceleratorProgram:
     # ------------------------------------------------------------------
     # streaming (flow-oriented) scanning
     # ------------------------------------------------------------------
-    def initial_scan_states(self) -> Tuple[ScanState, ...]:
-        """Fresh per-block scan states for one new flow.
+    @property
+    def scan_units(self) -> int:
+        """One resumable :class:`ScanState` per block of the group."""
+        return len(self.blocks)
 
-        The blocks of a group hold disjoint string groups and each scans the
-        whole byte stream, so a flow's resumable state is one
-        :class:`ScanState` per block.
-        """
-        return tuple(ScanState() for _ in self.blocks)
-
-    def scan_from(
-        self, states: Sequence[ScanState], chunk: bytes
-    ) -> Tuple[MatchList, Tuple[ScanState, ...]]:
+    def _scan_chunk(self, states: FlowState, chunk: bytes) -> Tuple[MatchList, FlowState]:
         """Scan one segment of a flow, resuming every block from ``states``.
 
         Returns stream-absolute ``(end_offset, string_number)`` matches plus

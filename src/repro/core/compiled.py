@@ -1,0 +1,218 @@
+"""The compiled dense-table fast path: any AC-equivalent automaton flattened
+to NumPy arrays and scanned as a tight table walk.
+
+Every other backend in this repository interprets some linked structure per
+input byte — dict lookups in the DTP pointer lists, bitmap popcounts, failure
+walks.  This backend trades memory for speed the same way the paper's *move
+function* baseline does, but engineered for a software host:
+
+* ``table`` — a dense ``(num_states, 256)`` ``int32`` transition table
+  (``table[s, c]`` is the next state), the software analogue of reading one
+  324-bit state word per character;
+* ``match_index`` / ``match_pids`` — a packed match-output array: state ``s``
+  matches the pattern ids ``match_pids[match_index[s]:match_index[s + 1]]``,
+  mirroring the hardware's matching-string-number memory walk;
+* a *signed* flat table for the hot loop: transitions into matching states
+  store the negated state id, so the per-byte work is one flat-list index
+  plus one sign test — the (rare) match bookkeeping is paid only on hits,
+  the way the hardware pays for the match memory walk only on the match
+  signal;
+* a per-chunk *root-skip* vector pass: when NumPy classification shows that
+  few chunk bytes can move the start state (``starter[chunk]``), runs of
+  bytes that would leave the automaton parked at the root are skipped
+  wholesale instead of being stepped through one at a time.
+
+The scan is resumable: the per-flow state is a 1-tuple
+:class:`repro.backend.ScanState` carrying the current table row, so the
+streaming layer (flow table, stream scanner, sharded service) uses this
+backend unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..automata.aho_corasick import AhoCorasickDFA
+from ..automata.trie import ALPHABET_SIZE, ROOT
+from ..backend import (
+    CompiledProgramMixin,
+    FlowState,
+    MatchList,
+    ScanState,
+    advance_history,
+)
+
+#: Chunks shorter than this skip the NumPy pre-pass: classifying a handful of
+#: bytes costs more than just stepping them.
+VECTOR_MIN_CHUNK = 64
+
+#: Root-skip is used when fewer than 1/16 of a chunk's bytes can move the
+#: start state; above that the automaton leaves the root too often for
+#: position jumping to beat the straight-line loop.
+SKIP_DENSITY_SHIFT = 4
+
+
+class CompiledDenseProgram(CompiledProgramMixin):
+    """A multi-pattern matcher compiled to dense transition/match tables."""
+
+    backend_name = "dense"
+
+    def __init__(
+        self,
+        table: np.ndarray,
+        outputs: Sequence[Sequence[int]],
+        patterns: Sequence[bytes],
+    ):
+        if table.ndim != 2 or table.shape[1] != ALPHABET_SIZE:
+            raise ValueError(f"transition table must be (num_states, 256), got {table.shape}")
+        if table.shape[0] != len(outputs):
+            raise ValueError("one output list per state is required")
+        self.table = np.ascontiguousarray(table, dtype=np.int32)
+        self.num_states = int(table.shape[0])
+        self._patterns = tuple(bytes(p) for p in patterns)
+
+        # packed match-output arrays (the dense analogue of the match memory)
+        counts = np.fromiter((len(o) for o in outputs), dtype=np.int64, count=len(outputs))
+        self.match_index = np.zeros(self.num_states + 1, dtype=np.int32)
+        np.cumsum(counts, out=self.match_index[1:])
+        self.match_pids = np.fromiter(
+            (pid for o in outputs for pid in o), dtype=np.int32, count=int(counts.sum())
+        )
+
+        # hot-path view: one flat signed Python list avoids per-byte NumPy
+        # scalar overhead; transitions into matching states are negated so
+        # the loop pays for match bookkeeping only on actual hits (the root,
+        # state 0, can never match — patterns are non-empty — so the sign
+        # encoding is unambiguous)
+        has_match = counts > 0
+        signed = np.where(has_match[self.table], -self.table, self.table)
+        self._flat = signed.ravel().tolist()
+        self._outputs: List[List[int]] = [list(o) for o in outputs]
+        # byte values that move the start state off itself; everything else
+        # keeps a root-parked automaton at the root and can be skipped
+        self._root_starter = self.table[ROOT] != ROOT
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_automaton(cls, automaton) -> "CompiledDenseProgram":
+        """Flatten any AC-equivalent automaton.
+
+        Accepts an :class:`AhoCorasickDFA` directly, or anything exposing an
+        equivalent one (``automaton.dfa``, e.g. a ``DTPAutomaton``); other
+        protocol backends are re-compiled from their ``patterns``.
+        """
+        dfa = getattr(automaton, "dfa", automaton)
+        if isinstance(dfa, AhoCorasickDFA):
+            return cls(dfa.table, dfa.outputs, dfa.trie.patterns)
+        patterns = getattr(automaton, "patterns", None)
+        if patterns is None:
+            raise TypeError(
+                f"cannot flatten {type(automaton).__name__}: "
+                "expected an AhoCorasickDFA, a .dfa attribute, or .patterns"
+            )
+        return cls.from_patterns(patterns)
+
+    @classmethod
+    def from_patterns(cls, patterns: Sequence[bytes]) -> "CompiledDenseProgram":
+        return cls.from_automaton(AhoCorasickDFA.from_patterns(patterns))
+
+    @classmethod
+    def from_ruleset(cls, ruleset) -> "CompiledDenseProgram":
+        """Build from a :class:`repro.rulesets.RuleSet`."""
+        return cls.from_patterns(ruleset.patterns)
+
+    # ------------------------------------------------------------------
+    # protocol surface
+    # ------------------------------------------------------------------
+    @property
+    def patterns(self) -> Tuple[bytes, ...]:
+        """The compiled patterns; pattern ids index this tuple."""
+        return self._patterns
+
+    def matches_of(self, state: int) -> Sequence[int]:
+        """Pattern ids reported when ``state`` is entered (packed-array view)."""
+        return self.match_pids[self.match_index[state]:self.match_index[state + 1]]
+
+    def _scan_chunk(self, states: FlowState, chunk: bytes) -> Tuple[MatchList, FlowState]:
+        (scan_state,) = states
+        state = scan_state.state
+        base = scan_state.offset
+        matches: MatchList = []
+        flat = self._flat
+        outputs = self._outputs
+        n = len(chunk)
+
+        # decide per chunk whether the root-skip pass pays for itself
+        hot: Optional[List[int]] = None
+        if n >= VECTOR_MIN_CHUNK:
+            starters = self._root_starter[np.frombuffer(chunk, dtype=np.uint8)]
+            if (int(starters.sum()) << SKIP_DENSITY_SHIFT) < n:
+                hot = np.nonzero(starters)[0].tolist()
+
+        if hot is None:
+            # straight-line table walk: one flat index + sign test per byte
+            for position, byte in enumerate(chunk):
+                state = flat[(state << 8) | byte]
+                if state < 0:
+                    state = -state
+                    end = base + position + 1
+                    for pid in outputs[state]:
+                        matches.append((end, pid))
+        else:
+            position = 0
+            hot_cursor = 0
+            num_hot = len(hot)
+            while position < n:
+                if state == ROOT:
+                    # parked at the root: jump to the next byte that leaves it
+                    while hot_cursor < num_hot and hot[hot_cursor] < position:
+                        hot_cursor += 1
+                    if hot_cursor == num_hot:
+                        position = n
+                        break
+                    position = hot[hot_cursor]
+                    hot_cursor += 1
+                state = flat[(state << 8) | chunk[position]]
+                if state < 0:
+                    state = -state
+                    end = base + position + 1
+                    for pid in outputs[state]:
+                        matches.append((end, pid))
+                position += 1
+
+        prev1, prev2 = advance_history(scan_state.prev1, scan_state.prev2, chunk)
+        return matches, (
+            ScanState(state=state, prev1=prev1, prev2=prev2, offset=base + n),
+        )
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Total resident footprint: dense arrays plus the hot-loop views.
+
+        Counts the NumPy transition/match arrays, the flat Python list the
+        scan loop indexes (8-byte slots), and the boxed int objects backing
+        entries outside CPython's small-int cache (targets > 256, one object
+        per table cell).  Matters because the dense backend's whole trade is
+        memory for speed — understating it would skew the dense-vs-DTP
+        comparison BENCH_backends.json tracks.
+        """
+        array_bytes = self.table.nbytes + self.match_index.nbytes + self.match_pids.nbytes
+        flat_slots = sys.getsizeof(self._flat)
+        boxed_ints = int((self.table > 256).sum()) * 32
+        return int(array_bytes + flat_slots + boxed_ints)
+
+    def memory_words(self, word_bits: int = 324) -> int:
+        """Equivalent count of the paper's 324-bit state-machine words.
+
+        The hardware packs up to four pointers (plus type/match bits) into
+        one 324-bit word; expressing the dense table in the same unit makes
+        the speed/memory trade against the DTP encoding directly comparable.
+        """
+        return -(-self.memory_bytes() * 8 // word_bits)

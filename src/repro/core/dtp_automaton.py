@@ -36,6 +36,7 @@ import numpy as np
 
 from ..automata.aho_corasick import AhoCorasickDFA
 from ..automata.trie import ALPHABET_SIZE, ROOT, Trie
+from ..backend import CompiledProgramMixin, FlowState, ScanState
 from .default_transitions import DefaultTransitionTable, build_default_transition_table
 
 MatchList = List[Tuple[int, int]]
@@ -44,32 +45,9 @@ MatchList = List[Tuple[int, int]]
 #: (Section IV.A); the packer enforces this limit.
 HARDWARE_MAX_POINTERS = 13
 
-
-@dataclass(frozen=True)
-class ScanState:
-    """Resumable matcher state carried across chunks of one byte stream.
-
-    The DTP automaton needs three registers to resume mid-stream: the current
-    state and the previous two input bytes (the lookup-table defaults compare
-    their stored preceding characters against that history).  ``offset``
-    counts the bytes already consumed so resumed matches report stream-wide
-    end positions.  Instances are immutable, so checkpointing a flow is just
-    keeping a reference.
-    """
-
-    state: int = ROOT
-    prev1: Optional[int] = None
-    prev2: Optional[int] = None
-    offset: int = 0
-
-    def as_tuple(self) -> Tuple[int, Optional[int], Optional[int], int]:
-        """A plain, JSON-serialisable form for flow-table checkpoints."""
-        return (self.state, self.prev1, self.prev2, self.offset)
-
-    @classmethod
-    def from_tuple(cls, values: Sequence[Optional[int]]) -> "ScanState":
-        state, prev1, prev2, offset = values
-        return cls(state=int(state), prev1=prev1, prev2=prev2, offset=int(offset))
+# ``ScanState`` historically lived here; it now sits in :mod:`repro.backend`
+# (shared by every backend) and the import above re-exports it for existing
+# ``from repro.core.dtp_automaton import ScanState`` callers.
 
 _CHUNK_STATES = 8192  # chunk size for the vectorised pruning pass
 
@@ -158,8 +136,12 @@ def staged_pointer_counts(
     )
 
 
-class DTPAutomaton:
+class DTPAutomaton(CompiledProgramMixin):
     """Software model of the paper's compressed string matching automaton.
+
+    Conforms to the :class:`repro.backend.CompiledProgram` protocol (backend
+    name ``"dtp"``): the per-flow state carries the automaton state *and* the
+    two-byte input history the default-transition lookup needs.
 
     Parameters
     ----------
@@ -171,6 +153,8 @@ class DTPAutomaton:
         Forwarded to :func:`build_default_transition_table` when ``defaults``
         is not supplied.
     """
+
+    backend_name = "dtp"
 
     def __init__(
         self,
@@ -246,24 +230,30 @@ class DTPAutomaton:
 
     def match(self, data: bytes) -> MatchList:
         """Scan one packet payload; history resets at the packet boundary."""
-        matches, _ = self.scan_from(ScanState(), data)
+        matches, _ = self._scan_chunk((ScanState(),), data)
         return matches
 
     def initial_scan_state(self) -> ScanState:
         """The state a fresh flow starts in (root state, empty byte history)."""
         return ScanState()
 
-    def scan_from(self, scan_state: ScanState, chunk: bytes) -> Tuple[MatchList, ScanState]:
-        """Scan ``chunk`` resuming from ``scan_state``; return matches + new state.
+    @property
+    def patterns(self) -> Tuple[bytes, ...]:
+        """The compiled patterns; pattern ids index this tuple."""
+        return tuple(self.dfa.trie.patterns)
+
+    def _scan_chunk(self, states: FlowState, chunk: bytes) -> Tuple[MatchList, FlowState]:
+        """Scan ``chunk`` resuming from ``states``; return matches + new state.
 
         Feeding the segments of one byte stream through consecutive
-        ``scan_from`` calls is exactly equivalent to one :meth:`match` over
-        the concatenated stream: the returned state carries the automaton
-        state *and* the two-byte history the default-transition lookup needs,
-        so patterns straddling a segment boundary are still found.  Match end
-        offsets are stream-absolute (``scan_state.offset`` + position in
-        ``chunk``).
+        :meth:`scan_from` calls is exactly equivalent to one :meth:`match`
+        over the concatenated stream: the returned state carries the
+        automaton state *and* the two-byte history the default-transition
+        lookup needs, so patterns straddling a segment boundary are still
+        found.  Match end offsets are stream-absolute (``offset`` + position
+        in ``chunk``).
         """
+        (scan_state,) = states
         matches: MatchList = []
         state = scan_state.state
         prev1 = scan_state.prev1
@@ -276,8 +266,8 @@ class DTPAutomaton:
                 matches.extend((base + position + 1, pid) for pid in outputs[state])
             prev2 = prev1
             prev1 = byte
-        return matches, ScanState(
-            state=state, prev1=prev1, prev2=prev2, offset=base + len(chunk)
+        return matches, (
+            ScanState(state=state, prev1=prev1, prev2=prev2, offset=base + len(chunk)),
         )
 
     def iter_states(self, data: bytes) -> Iterator[int]:
@@ -310,6 +300,10 @@ class DTPAutomaton:
 
     def average_stored_pointers(self) -> float:
         return self.stored_pointer_count() / self.num_states
+
+    def memory_bytes(self, pointer_bytes: int = 4) -> int:
+        """Footprint storing one pointer per retained transition (cf. Table II)."""
+        return self.stored_pointer_count() * pointer_bytes
 
     def pointer_count_histogram(self) -> Dict[int, int]:
         histogram: Dict[int, int] = {}

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..backend import FlowState, MatchList
 from ..core.accelerator_config import AcceleratorProgram
 from ..fpga.devices import FPGADevice
 from ..fpga.throughput import accelerator_throughput_gbps
@@ -56,7 +57,18 @@ class AcceleratorScanResult:
 
 
 class HardwareAccelerator:
-    """Cycle-level model of the multi-block accelerator."""
+    """Cycle-level model of the multi-block accelerator.
+
+    The model also honours the :class:`repro.backend.CompiledProgram`
+    protocol so the IDS and any other consumer can treat it as one more
+    backend: per-payload :meth:`match`/:meth:`scan_packets` run the full
+    cycle-accurate pipeline (engines, memory ports, match schedulers), while
+    the resumable :meth:`scan_from` path delegates to the compiled program —
+    the cycle model contributes timing, never its own copy of the matching
+    semantics.
+    """
+
+    backend_name = "dtp"
 
     def __init__(self, program: AcceleratorProgram, device: Optional[FPGADevice] = None):
         self.program = program
@@ -95,8 +107,17 @@ class HardwareAccelerator:
         )
 
     # ------------------------------------------------------------------
-    def scan(self, packets: Sequence[Packet]) -> AcceleratorScanResult:
-        """Scan ``packets``: round-robin across packet groups, merge matches."""
+    def scan(self, packets):
+        """Scan ``packets``: round-robin across packet groups, merge matches.
+
+        Accepts either a packet batch (returning the cycle-level
+        :class:`AcceleratorScanResult`) or, per the
+        :class:`repro.backend.CompiledProgram` protocol, one raw payload
+        (returning its match list) — a ``bytes`` value is never a packet
+        sequence, so the dispatch is unambiguous.
+        """
+        if isinstance(packets, (bytes, bytearray, memoryview)):
+            return self.match(bytes(packets))
         per_group_packets: List[List[Packet]] = [[] for _ in range(self.packet_groups)]
         for index, packet in enumerate(packets):
             per_group_packets[index % self.packet_groups].append(packet)
@@ -131,6 +152,43 @@ class HardwareAccelerator:
             packet_groups=self.packet_groups,
             blocks_per_group=self.blocks_per_group,
         )
+
+    # ------------------------------------------------------------------
+    # CompiledProgram protocol surface (cycle-accurate where possible)
+    # ------------------------------------------------------------------
+    @property
+    def patterns(self) -> Tuple[bytes, ...]:
+        return self.program.patterns
+
+    def match(self, payload: bytes) -> MatchList:
+        """Scan one payload through the cycle model; report (offset, number)."""
+        result = self.scan([Packet(payload=payload, packet_id=0)])
+        return [(event.end_offset, event.string_number) for event in result.events]
+
+    def scan_packets(self, payloads: Iterable[bytes]) -> List[MatchList]:
+        """Scan several payloads through the cycle model, one result list each."""
+        packets = [
+            Packet(payload=payload, packet_id=index)
+            for index, payload in enumerate(payloads)
+        ]
+        result = self.scan(packets)
+        per_packet: List[MatchList] = [[] for _ in packets]
+        for event in result.events:
+            per_packet[event.packet_id].append((event.end_offset, event.string_number))
+        return per_packet
+
+    def initial_scan_states(self, offset: int = 0) -> FlowState:
+        return self.program.initial_scan_states(offset=offset)
+
+    def scan_from(self, states, chunk: bytes):
+        """Resumable streaming scan.
+
+        Delegated to the compiled program: the per-engine flow checkpointing
+        the hardware exposes (:meth:`StringMatchingEngine.resume_flow`) is
+        not yet driven by a flow-aware scheduler, and the functional result
+        is identical by construction.
+        """
+        return self.program.scan_from(states, chunk)
 
     # ------------------------------------------------------------------
     def alerts_by_sid(self, result: AcceleratorScanResult) -> Dict[int, List[MatchEvent]]:

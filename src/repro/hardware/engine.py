@@ -133,7 +133,11 @@ class StringMatchingEngine:
         lookup_entry: LookupEntry = self.lookup_memory.read(byte, self.port, cycle)
         self.stats.lookup_reads += 1
 
-        next_address = self._resolve(byte, lookup_entry)
+        # matching semantics are delegated to the block image (the engine
+        # model only contributes timing and memory-bandwidth accounting)
+        next_address = self.image.resolve_transition(
+            self._current_entry, lookup_entry, byte, self._prev1, self._prev2
+        )
         next_entry: StateEntry = self.state_memory.read(next_address, self.port, cycle)
         self.stats.state_reads += 1
 
@@ -154,22 +158,6 @@ class StringMatchingEngine:
                 match_address=next_entry.match_address,
             )
         return None
-
-    # ------------------------------------------------------------------
-    def _resolve(self, byte: int, lookup_entry: LookupEntry) -> StateAddress:
-        """The comparator blocks of Figure 5: explicit pointer, else default."""
-        pointer = self._current_entry.pointers.get(byte)
-        if pointer is not None:
-            return pointer
-        d3 = lookup_entry.d3
-        if d3 is not None and self._prev2 == d3[0] and self._prev1 == d3[1]:
-            return d3[2]
-        for preceding, address in lookup_entry.d2:
-            if self._prev1 == preceding:
-                return address
-        if lookup_entry.d1_address is not None:
-            return lookup_entry.d1_address
-        return self.image.root_address
 
     # ------------------------------------------------------------------
     @property

@@ -54,6 +54,34 @@ class BlockImage:
     def state_count(self) -> int:
         return len(self.states)
 
+    def resolve_transition(
+        self,
+        entry: StateEntry,
+        lookup_entry: LookupEntry,
+        byte: int,
+        prev1: Optional[int],
+        prev2: Optional[int],
+    ) -> StateAddress:
+        """The comparator blocks of Figure 5: explicit pointer, else default.
+
+        This is the single address-level implementation of the DTP matching
+        semantics; the cycle-level engine delegates here so its model adds
+        *timing* (register stages, memory-port accounting) but never its own
+        copy of the match logic.
+        """
+        pointer = entry.pointers.get(byte)
+        if pointer is not None:
+            return pointer
+        d3 = lookup_entry.d3
+        if d3 is not None and prev2 == d3[0] and prev1 == d3[1]:
+            return d3[2]
+        for preceding, address in lookup_entry.d2:
+            if prev1 == preceding:
+                return address
+        if lookup_entry.d1_address is not None:
+            return lookup_entry.d1_address
+        return self.root_address
+
 
 def build_block_image(program: BlockProgram) -> BlockImage:
     """Lower a compiled :class:`BlockProgram` to its hardware image."""

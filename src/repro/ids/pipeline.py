@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..core.accelerator_config import AcceleratorProgram, compile_ruleset
+from ..backend import CompiledProgram, get_backend
+from ..core.accelerator_config import compile_ruleset
 from ..fpga.devices import FPGADevice, STRATIX_III
 from ..hardware.accelerator import HardwareAccelerator
 from ..rulesets.parser import SnortRuleSpec
@@ -75,13 +76,21 @@ class IDSStatistics:
 
 
 class IntrusionDetectionSystem:
-    """A miniature Snort-style IDS driven by the paper's accelerator."""
+    """A miniature Snort-style IDS driven by the paper's accelerator.
+
+    ``backend`` selects the content matcher (any name registered in
+    :mod:`repro.backend`).  The default ``"dtp"`` compiles the device-mapped
+    accelerator program and is the only backend the cycle-level hardware
+    model can execute; every other backend runs the same pipeline through
+    its compiled program.
+    """
 
     def __init__(
         self,
         rules: Sequence[IDSRule],
         device: FPGADevice = STRATIX_III,
         use_hardware_model: bool = False,
+        backend: str = "dtp",
     ):
         if not rules:
             raise ValueError("at least one rule is required")
@@ -113,12 +122,25 @@ class IntrusionDetectionSystem:
                 if content not in self._content_ruleset:
                     self._content_ruleset.add_pattern(content)
 
-        self.program: AcceleratorProgram = compile_ruleset(self._content_ruleset, device)
+        self.backend = backend
+        if backend == "dtp":
+            self.program: CompiledProgram = compile_ruleset(self._content_ruleset, device)
+        else:
+            if use_hardware_model:
+                raise ValueError(
+                    "the cycle-level hardware model only executes the 'dtp' "
+                    f"backend, not {backend!r}"
+                )
+            self.program = get_backend(backend).compile(self._content_ruleset.patterns)
         self._number_to_pattern = {
             index: rule.pattern for index, rule in enumerate(self._content_ruleset)
         }
         self.accelerator: Optional[HardwareAccelerator] = (
             HardwareAccelerator(self.program) if use_hardware_model else None
+        )
+        #: content matcher used by :meth:`process` (protocol-conformant)
+        self._matcher: CompiledProgram = (
+            self.accelerator if self.accelerator is not None else self.program
         )
         self._flow_scanner: Optional[StreamScanner] = None
         self._flow_capacity = DEFAULT_FLOW_CAPACITY
@@ -130,6 +152,7 @@ class IntrusionDetectionSystem:
         specs: Iterable[SnortRuleSpec],
         device: FPGADevice = STRATIX_III,
         use_hardware_model: bool = False,
+        backend: str = "dtp",
     ) -> "IntrusionDetectionSystem":
         """Build an IDS from parsed Snort rules."""
         rules: List[IDSRule] = []
@@ -155,7 +178,9 @@ class IntrusionDetectionSystem:
                     nocase=tuple(c.nocase for c in spec.contents),
                 )
             )
-        return cls(rules, device=device, use_hardware_model=use_hardware_model)
+        return cls(
+            rules, device=device, use_hardware_model=use_hardware_model, backend=backend
+        )
 
     # ------------------------------------------------------------------
     def _content_matches(self, packets: Sequence[Packet]) -> Dict[int, Set[bytes]]:
@@ -166,18 +191,12 @@ class IntrusionDetectionSystem:
         the case-insensitive patterns.
         """
         found: Dict[int, Set[bytes]] = {packet.packet_id: set() for packet in packets}
-
-        def scan(payload: bytes):
-            if self.accelerator is not None:
-                result = self.accelerator.scan([Packet(payload=payload, packet_id=0)])
-                return [(event.end_offset, event.string_number) for event in result.events]
-            return self.program.match(payload)
-
+        matcher = self._matcher  # accelerator and program share the protocol
         for packet in packets:
-            for _, number in scan(packet.payload):
+            for _, number in matcher.match(packet.payload):
                 found[packet.packet_id].add(self._number_to_pattern[number])
             if self._nocase_patterns:
-                for _, number in scan(packet.payload.lower()):
+                for _, number in matcher.match(packet.payload.lower()):
                     pattern = self._number_to_pattern[number]
                     if pattern in self._nocase_patterns:
                         found[packet.packet_id].add(pattern)

@@ -21,7 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.dtp_automaton import ScanState
+from ..backend import ScanState
 from ..traffic.packet import FiveTuple
 
 #: Default maximum number of concurrently tracked flows per table.

@@ -1,14 +1,19 @@
-"""Stateful flow scanning over one compiled accelerator program.
+"""Stateful flow scanning over one compiled matcher program.
 
 A :class:`StreamScanner` is the software model of one string matching engine
 that has been taught to multiplex flows: before scanning a segment it loads
-the flow's checkpointed :class:`repro.core.ScanState` registers from its
+the flow's checkpointed :class:`repro.backend.ScanState` registers from its
 :class:`repro.streaming.flow.FlowTable`, and afterwards it stores them back.
-Because the state carries the two-byte history the default-transition lookup
-table compares against, a pattern split across consecutive segments of a flow
-is found exactly as if the segments had arrived as one contiguous payload —
-the property the per-packet :meth:`AcceleratorProgram.match` path cannot
+Because the state carries everything the backend needs to resume (automaton
+state, two-byte history, tail buffer), a pattern split across consecutive
+segments of a flow is found exactly as if the segments had arrived as one
+contiguous payload — the property the per-packet ``match`` path cannot
 provide.
+
+The scanner is written against the :class:`repro.backend.CompiledProgram`
+protocol, so *any* backend — the device-partitioned
+:class:`repro.core.AcceleratorProgram`, the compiled dense table, a plain
+DFA, even Wu-Manber — multiplexes flows through the identical code path.
 """
 
 from __future__ import annotations
@@ -16,8 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.accelerator_config import AcceleratorProgram
-from ..core.dtp_automaton import ScanState
+from ..backend import CompiledProgram
 from ..traffic.packet import Packet
 from .flow import DEFAULT_FLOW_CAPACITY, FlowEntry, FlowKey, FlowTable
 
@@ -52,15 +56,17 @@ class ScannerStatistics:
 
 
 class StreamScanner:
-    """One flow-multiplexing scan engine around an :class:`AcceleratorProgram`.
+    """One flow-multiplexing scan engine around any compiled matcher program.
 
-    ``capacity`` sizes the internally created flow table and is ignored when
-    an explicit ``flow_table`` is supplied (the table's own bound applies).
+    ``program`` is anything honouring the :class:`repro.backend.CompiledProgram`
+    protocol.  ``capacity`` sizes the internally created flow table and is
+    ignored when an explicit ``flow_table`` is supplied (the table's own
+    bound applies).
     """
 
     def __init__(
         self,
-        program: AcceleratorProgram,
+        program: CompiledProgram,
         flow_table: Optional[FlowTable] = None,
         capacity: int = DEFAULT_FLOW_CAPACITY,
         track_nocase: bool = False,
@@ -70,7 +76,7 @@ class StreamScanner:
         self.track_nocase = track_nocase
         self.stats = ScannerStatistics()
         self._pattern_length = {
-            index: len(rule.pattern) for index, rule in enumerate(program.ruleset)
+            index: len(pattern) for index, pattern in enumerate(program.patterns)
         }
 
     # ------------------------------------------------------------------
@@ -117,8 +123,8 @@ class StreamScanner:
                 # silently never matching case-insensitively again.  Seed it
                 # at the raw stream offset so lowered matches keep reporting
                 # flow-absolute positions (and dedup against raw hits works).
-                entry.lower_states = tuple(
-                    ScanState(offset=segment_start) for _ in self.program.blocks
+                entry.lower_states = self.program.initial_scan_states(
+                    offset=segment_start
                 )
             lowered, entry.lower_states = self.program.scan_from(
                 entry.lower_states, payload.lower()

@@ -18,7 +18,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.accelerator_config import AcceleratorProgram
+from ..backend import CompiledProgram
 from ..traffic.packet import Packet
 from .flow import DEFAULT_FLOW_CAPACITY, FlowKey, FlowTable
 from .scanner import StreamMatch, StreamScanner
@@ -65,14 +65,16 @@ class StreamScanResult:
 class ScanService:
     """Hash-sharded, stateful scanning front-end over one compiled program.
 
-    Every shard owns a full copy of the compiled automaton (mirroring the
-    replicated packet groups on the device) plus a private flow table, so
-    shards share nothing and could run on separate cores or processes.
+    ``program`` is any :class:`repro.backend.CompiledProgram` — the engines
+    reference the same compiled structure (mirroring the replicated packet
+    groups on the device) but each shard keeps a private flow table, so
+    shards share no mutable state and could run on separate cores or
+    processes.
     """
 
     def __init__(
         self,
-        program: AcceleratorProgram,
+        program: CompiledProgram,
         num_shards: int = 4,
         flow_capacity_per_shard: int = DEFAULT_FLOW_CAPACITY,
         track_nocase: bool = False,

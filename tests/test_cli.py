@@ -57,6 +57,42 @@ def test_scan_stream_three_segment_split(capsys):
     assert "4/4 (streaming)" in out
 
 
+def test_scan_software_backend(capsys):
+    assert main(["scan", "--size", "50", "--seed", "2", "--packets", "12",
+                 "--payload", "120", "--backend", "dense"]) == 0
+    out = capsys.readouterr().out
+    assert "backend                : dense" in out
+    assert "software throughput" in out
+    # same workload, same match count as the cycle-level dtp scan
+    assert "match events           : 10" in out
+
+
+def _stream_match_report(capsys, backend):
+    assert main(["scan-stream", "--size", "40", "--seed", "5", "--flows", "6",
+                 "--packets-per-flow", "3", "--shards", "2",
+                 "--backend", backend, "--print-events"]) == 0
+    out = capsys.readouterr().out
+    assert f"backend                   : {backend}" in out
+    return out[out.index("match report:"):]
+
+
+def test_scan_stream_backends_report_identically(capsys):
+    reports = {
+        backend: _stream_match_report(capsys, backend)
+        for backend in ("dtp", "dense", "ac", "wu-manber")
+    }
+    assert len(set(reports.values())) == 1, "match reports must be byte-identical"
+    assert reports["dtp"].count("packet=") == 6
+
+
+def test_ids_command(capsys):
+    assert main(["ids", "--size", "40", "--seed", "5", "--flows", "6",
+                 "--backend", "dense", "--print-alerts"]) == 0
+    out = capsys.readouterr().out
+    assert "split-pattern alerts : 6/6" in out
+    assert out.count("packet=") == 6
+
+
 def test_table1_command(capsys):
     assert main(["table1"]) == 0
     out = capsys.readouterr().out
