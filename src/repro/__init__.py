@@ -99,6 +99,7 @@ from .streaming import (
     FlowEntry,
     FlowKey,
     FlowTable,
+    ParallelScanService,
     ScanService,
     StreamMatch,
     StreamScanner,
@@ -152,6 +153,7 @@ __all__ = [
     "FlowEntry",
     "FlowKey",
     "FlowTable",
+    "ParallelScanService",
     "ScanService",
     "StreamMatch",
     "StreamScanner",

@@ -46,6 +46,8 @@ from .ids.classifier import HeaderPattern
 from .ids.pipeline import IDSRule, IntrusionDetectionSystem
 from .rulesets.generator import generate_paper_rulesets, generate_snort_like_ruleset
 from .rulesets.reducer import reduce_to_character_count
+from .streaming.executor import ParallelScanService
+from .streaming.scanner import StreamScanner
 from .streaming.service import ScanService
 from .traffic.generator import TrafficGenerator, TrafficProfile
 
@@ -156,9 +158,17 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
     program = _build_program(ruleset, device, args.backend)
-    service = ScanService(
-        program, num_shards=args.shards, flow_capacity_per_shard=args.flow_capacity
-    )
+    if args.workers is not None:  # 0 is invalid, not "serial" — let it raise
+        service = ParallelScanService(
+            program,
+            num_shards=args.shards,
+            flow_capacity_per_shard=args.flow_capacity,
+            workers=args.workers,
+        )
+    else:
+        service = ScanService(
+            program, num_shards=args.shards, flow_capacity_per_shard=args.flow_capacity
+        )
     generator = TrafficGenerator(ruleset, seed=args.seed + 1)
     flows = generator.flows(
         args.flows,
@@ -168,38 +178,41 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
         segment_bytes=args.segment_bytes,
     )
     packets = TrafficGenerator.interleave(flows)
-    result = service.scan(packets)
+    with service:
+        result = service.scan(packets)
 
-    # ground truth: every flow carries one deliberately split pattern
-    # (string numbers follow ruleset order for every backend)
-    sid_of = {index: rule.sid for index, rule in enumerate(ruleset)}
-    events_by_flow = result.events_by_flow()
-    found_split = 0
-    stateless_split = 0
-    for flow in flows:
-        key = service.engines[0].flow_key(flow.packets[0])
-        streamed = {sid_of[event.string_number] for event in events_by_flow.get(key, ())}
-        stateless = {
-            sid_of[number]
-            for packet in flow.packets
-            for _, number in program.match(packet.payload)
-        }
-        for sid in flow.split_sids:
-            found_split += sid in streamed
-            stateless_split += sid in stateless
+        # ground truth: every flow carries one deliberately split pattern
+        # (string numbers follow ruleset order for every backend)
+        sid_of = {index: rule.sid for index, rule in enumerate(ruleset)}
+        events_by_flow = result.events_by_flow()
+        found_split = 0
+        stateless_split = 0
+        for flow in flows:
+            key = StreamScanner.flow_key(flow.packets[0])
+            streamed = {sid_of[event.string_number] for event in events_by_flow.get(key, ())}
+            stateless = {
+                sid_of[number]
+                for packet in flow.packets
+                for _, number in program.match(packet.payload)
+            }
+            for sid in flow.split_sids:
+                found_split += sid in streamed
+                stateless_split += sid in stateless
 
-    print(f"backend                   : {args.backend}")
-    print(
-        f"scanned {result.packets} packets / {len(flows)} flows "
-        f"({result.bytes_scanned} bytes) on {service.num_shards} shard(s)"
-    )
-    print(f"match events              : {len(result.events)}")
-    print(f"cross-segment matches     : {service.cross_segment_matches}")
-    print(f"split patterns detected   : {found_split}/{len(flows)} (streaming)")
-    print(f"split patterns detected   : {stateless_split}/{len(flows)} (per-packet scan)")
-    print(f"active flows              : {service.active_flows}")
-    print(f"evicted flows             : {service.evicted_flows}")
-    print(f"shard occupancy           : {service.shard_occupancy()}")
+        print(f"backend                   : {args.backend}")
+        print(
+            f"scanned {result.packets} packets / {len(flows)} flows "
+            f"({result.bytes_scanned} bytes) on {service.num_shards} shard(s)"
+        )
+        if args.workers is not None:
+            print(f"worker processes          : {service.num_workers}")
+        print(f"match events              : {len(result.events)}")
+        print(f"cross-segment matches     : {service.cross_segment_matches}")
+        print(f"split patterns detected   : {found_split}/{len(flows)} (streaming)")
+        print(f"split patterns detected   : {stateless_split}/{len(flows)} (per-packet scan)")
+        print(f"active flows              : {service.active_flows}")
+        print(f"evicted flows             : {service.evicted_flows}")
+        print(f"shard occupancy           : {service.shard_occupancy()}")
     if args.print_events:
         # the match report proper: identical for every backend on the same
         # workload (the equivalence the backend protocol guarantees)
@@ -221,14 +234,17 @@ def _cmd_ids(args: argparse.Namespace) -> int:
         IDSRule(sid=rule.sid, header=HeaderPattern(), contents=(rule.pattern,))
         for rule in ruleset
     ]
-    ids = IntrusionDetectionSystem(rules, device=device, backend=args.backend)
+    ids = IntrusionDetectionSystem(
+        rules, device=device, backend=args.backend, workers=args.workers
+    )
 
     generator = TrafficGenerator(ruleset, seed=args.seed + 1)
     flows = generator.flows(
         args.flows, num_packets=args.packets_per_flow, split_patterns=1
     )
     packets = TrafficGenerator.interleave(flows)
-    alerts = ids.scan_flow(packets)
+    with ids:
+        alerts = ids.scan_flow(packets)
 
     alerted_sids = {alert.sid for alert in alerts}
     split_detected = sum(
@@ -369,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan_stream.add_argument("--segment-bytes", type=int, default=None)
     scan_stream.add_argument("--shards", type=int, default=4, help="scan engine pool size")
+    scan_stream.add_argument("--workers", type=int, default=None,
+                             help="scan shards on this many worker processes "
+                                  "(default: serial in-process scan)")
     scan_stream.add_argument("--flow-capacity", type=int, default=4096,
                              help="LRU flow-table capacity per shard")
     scan_stream.add_argument("--print-events", action="store_true",
@@ -384,6 +403,8 @@ def build_parser() -> argparse.ArgumentParser:
     ids.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
     ids.add_argument("--flows", type=int, default=12, help="concurrent flows")
     ids.add_argument("--packets-per-flow", type=int, default=3)
+    ids.add_argument("--workers", type=int, default=None,
+                     help="run content scanning on this many worker processes")
     ids.add_argument("--print-alerts", action="store_true",
                      help="print every alert (backend-independent report)")
     ids.set_defaults(handler=_cmd_ids)

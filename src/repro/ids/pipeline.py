@@ -23,7 +23,8 @@ from ..fpga.devices import FPGADevice, STRATIX_III
 from ..hardware.accelerator import HardwareAccelerator
 from ..rulesets.parser import SnortRuleSpec
 from ..rulesets.ruleset import PatternRule, RuleSet
-from ..streaming.flow import DEFAULT_FLOW_CAPACITY, FlowEntry
+from ..streaming.executor import ParallelScanService
+from ..streaming.flow import DEFAULT_FLOW_CAPACITY, FlowEntry, FlowKey
 from ..streaming.scanner import StreamScanner
 from ..traffic.packet import Packet
 from .classifier import HeaderClassifier, HeaderPattern
@@ -83,6 +84,12 @@ class IntrusionDetectionSystem:
     accelerator program and is the only backend the cycle-level hardware
     model can execute; every other backend runs the same pipeline through
     its compiled program.
+
+    ``workers`` routes :meth:`scan_flow` content matching through the
+    process-parallel :class:`repro.streaming.ParallelScanService` with that
+    many worker processes (``None``, the default, keeps the in-process
+    scanner).  Call :meth:`close` (or :meth:`reset_flows`) to shut the
+    worker pool down when done.
     """
 
     def __init__(
@@ -91,7 +98,10 @@ class IntrusionDetectionSystem:
         device: FPGADevice = STRATIX_III,
         use_hardware_model: bool = False,
         backend: str = "dtp",
+        workers: Optional[int] = None,
     ):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
         if not rules:
             raise ValueError("at least one rule is required")
         self.rules: Dict[int, IDSRule] = {}
@@ -144,6 +154,13 @@ class IntrusionDetectionSystem:
         )
         self._flow_scanner: Optional[StreamScanner] = None
         self._flow_capacity = DEFAULT_FLOW_CAPACITY
+        self.workers = workers
+        self._parallel_service: Optional[ParallelScanService] = None
+        # parent-side mirror of the per-flow matched/alerted bookkeeping the
+        # serial path keeps on FlowEntry; lives as long as the worker pool's
+        # flow tables so consecutive scan_flow calls correlate like one stream
+        self._parallel_found: Dict[FlowKey, Set[bytes]] = {}
+        self._parallel_alerted: Dict[FlowKey, Set[int]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -153,6 +170,7 @@ class IntrusionDetectionSystem:
         device: FPGADevice = STRATIX_III,
         use_hardware_model: bool = False,
         backend: str = "dtp",
+        workers: Optional[int] = None,
     ) -> "IntrusionDetectionSystem":
         """Build an IDS from parsed Snort rules."""
         rules: List[IDSRule] = []
@@ -179,7 +197,11 @@ class IntrusionDetectionSystem:
                 )
             )
         return cls(
-            rules, device=device, use_hardware_model=use_hardware_model, backend=backend
+            rules,
+            device=device,
+            use_hardware_model=use_hardware_model,
+            backend=backend,
+            workers=workers,
         )
 
     # ------------------------------------------------------------------
@@ -241,11 +263,48 @@ class IntrusionDetectionSystem:
             )
         return self._flow_scanner
 
+    @property
+    def parallel_service(self) -> ParallelScanService:
+        """The lazily created worker pool backing the parallel flow scan."""
+        if self.workers is None:
+            raise ValueError(
+                "this IDS was built without workers=; pass workers=N to "
+                "IntrusionDetectionSystem to enable the parallel flow scan"
+            )
+        if self._parallel_service is None:
+            self._parallel_service = ParallelScanService(
+                self.program,
+                num_shards=self.workers,
+                flow_capacity_per_shard=self._flow_capacity,
+                track_nocase=bool(self._nocase_patterns),
+                workers=self.workers,
+            )
+        return self._parallel_service
+
     def reset_flows(self, capacity: Optional[int] = None) -> None:
         """Drop all tracked flow state (optionally resizing the flow table)."""
         if capacity is not None:
             self._flow_capacity = capacity
         self._flow_scanner = None
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the parallel scan workers, if any were started.
+
+        The correlation state goes with them: a pool rebuilt later starts
+        with fresh flow tables, so the parent-side mirror must be fresh too.
+        """
+        if self._parallel_service is not None:
+            self._parallel_service.close()
+            self._parallel_service = None
+        self._parallel_found.clear()
+        self._parallel_alerted.clear()
+
+    def __enter__(self) -> "IntrusionDetectionSystem":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def _flow_contents_found(self, entry: FlowEntry) -> Set[bytes]:
         """Content strings confirmed so far in one flow's byte stream."""
@@ -273,7 +332,15 @@ class IntrusionDetectionSystem:
         per engine, while the per-engine flow checkpointing it would need is
         exposed (:meth:`repro.hardware.StringMatchingEngine.resume_flow`)
         but not yet driven by a flow-aware hardware scheduler.
+
+        With ``workers`` set, the payload scanning runs on the parallel
+        shard executor and alerts are correlated from its event stream —
+        same alerts, same order, same statistics as the serial path (the
+        flow-capacity bound then applies per worker shard rather than to
+        one shared table, which only matters under eviction pressure).
         """
+        if self.workers is not None:
+            return self._scan_flow_parallel(packets)
         scanner = self.flow_scanner
         alerts: List[Alert] = []
         for packet in packets:
@@ -303,5 +370,62 @@ class IntrusionDetectionSystem:
                         )
                     )
                     entry.alerted.add(sid)
+                    self.stats.alerts_raised += 1
+        return alerts
+
+    def _scan_flow_parallel(self, packets: Sequence[Packet]) -> List[Alert]:
+        """The :meth:`scan_flow` pipeline over the parallel shard executor.
+
+        Workers own the flow tables, so the per-flow ``matched``/``alerted``
+        bookkeeping the serial path reads off :class:`FlowEntry` is rebuilt
+        here from the annotated scan: per-packet events accumulate each
+        flow's confirmed contents, and eviction records reset a flow exactly
+        where the worker's LRU table forgot it (an evicted flow restarts
+        from scratch and may alert again, mirroring the serial semantics).
+        """
+        service = self.parallel_service
+        _, per_packet_events, evictions = service.scan_annotated(packets)
+        alerts: List[Alert] = []
+        found = self._parallel_found  # persists across scan_flow calls,
+        alerted = self._parallel_alerted  # like FlowEntry does serially
+        next_eviction = 0
+        for index, packet in enumerate(packets):
+            self.stats.packets_processed += 1
+            self.stats.payload_bytes += len(packet.payload)
+            events = per_packet_events[index]
+            # distinct strings per packet, matching process()'s accounting
+            self.stats.content_matches += len({e.string_number for e in events})
+            # flows evicted up to this packet restart with empty state (the
+            # eviction is always triggered by a *different* flow's arrival)
+            while next_eviction < len(evictions) and evictions[next_eviction][0] <= index:
+                _, evicted_key = evictions[next_eviction]
+                next_eviction += 1
+                found.pop(evicted_key, None)
+                alerted.pop(evicted_key, None)
+            key = StreamScanner.flow_key(packet)
+            flow_found = found.setdefault(key, set())
+            for event in events:
+                pattern = self._number_to_pattern[event.string_number]
+                if not event.lowered or pattern in self._nocase_patterns:
+                    flow_found.add(pattern)
+            candidates = self.classifier.classify(packet.header)
+            self.stats.header_candidates += len(candidates)
+            if not candidates:
+                continue
+            flow_alerted = alerted.setdefault(key, set())
+            for sid in candidates:
+                if sid in flow_alerted:
+                    continue
+                rule = self.rules[sid]
+                if all(content in flow_found for content in rule.contents):
+                    alerts.append(
+                        Alert(
+                            packet_id=packet.packet_id,
+                            sid=sid,
+                            msg=rule.msg,
+                            action=rule.action,
+                        )
+                    )
+                    flow_alerted.add(sid)
                     self.stats.alerts_raised += 1
         return alerts

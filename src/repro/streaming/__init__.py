@@ -11,9 +11,12 @@ puts on top of the matcher:
 * :mod:`repro.streaming.scanner` — a :class:`StreamScanner` that loads/stores
   flow state around each segment scan (one engine multiplexing many flows);
 * :mod:`repro.streaming.service` — a hash-sharded :class:`ScanService`
-  dispatching batches across a pool of scanners with aggregate reporting.
+  dispatching batches across a pool of scanners with aggregate reporting;
+* :mod:`repro.streaming.executor` — :class:`ParallelScanService`, the same
+  front-end with each shard's engine living in its own worker process.
 """
 
+from .executor import ParallelScanService
 from .flow import (
     DEFAULT_FLOW_CAPACITY,
     FlowEntry,
@@ -25,6 +28,7 @@ from .scanner import ANONYMOUS_FLOW, ScannerStatistics, StreamMatch, StreamScann
 from .service import ScanService, ShardReport, StreamScanResult
 
 __all__ = [
+    "ParallelScanService",
     "DEFAULT_FLOW_CAPACITY",
     "FlowEntry",
     "FlowKey",

@@ -47,13 +47,31 @@ class FlowKey:
     protocol: str
 
     @classmethod
-    def from_header(cls, header: FiveTuple) -> "FlowKey":
+    def coerced(cls, src_ip, dst_ip, src_port, dst_port, protocol) -> "FlowKey":
+        """Build a key with canonical field types.
+
+        Flow identity is *typed*: ``encode()`` stringifies every field, so a
+        port that arrives as the float ``80.0`` (a JSON checkpoint round-trip,
+        a hand-written fixture) would hash and compare as ``"80.0"`` — a
+        different shard and a different table slot than the live ``80``.
+        Every constructor that ingests external data funnels through here.
+        """
         return cls(
-            src_ip=header.src_ip,
-            dst_ip=header.dst_ip,
-            src_port=header.src_port,
-            dst_port=header.dst_port,
-            protocol=header.protocol,
+            src_ip=str(src_ip),
+            dst_ip=str(dst_ip),
+            src_port=int(src_port),
+            dst_port=int(dst_port),
+            protocol=str(protocol),
+        )
+
+    @classmethod
+    def from_header(cls, header: FiveTuple) -> "FlowKey":
+        return cls.coerced(
+            header.src_ip,
+            header.dst_ip,
+            header.src_port,
+            header.dst_port,
+            header.protocol,
         )
 
     def as_tuple(self) -> Tuple[str, str, int, int, str]:
@@ -107,7 +125,7 @@ class FlowEntry:
     @classmethod
     def from_dict(cls, data: Dict) -> "FlowEntry":
         return cls(
-            key=FlowKey(*data["key"]),
+            key=FlowKey.coerced(*data["key"]),
             states=tuple(ScanState.from_tuple(values) for values in data["states"]),
             lower_states=(
                 None
@@ -129,6 +147,10 @@ class FlowTableStatistics:
     hits: int = 0
     created: int = 0
     evicted: int = 0
+    #: flows present in a checkpoint but dropped at restore time because they
+    #: exceeded the restoring table's capacity (not LRU evictions — the flows
+    #: were never live in this table).
+    restore_dropped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -187,9 +209,10 @@ class FlowTable:
         return entry
 
     def insert(self, entry: FlowEntry) -> None:
+        if entry.key not in self._entries:
+            self.stats.created += 1
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
-        self.stats.created += 1
         while len(self._entries) > self.capacity:
             _, evicted = self._entries.popitem(last=False)
             self.stats.evicted += 1
@@ -223,16 +246,23 @@ class FlowTable:
         ``capacity`` overrides the checkpointed capacity (e.g. restoring into
         a service configured with a different memory bound); when the
         checkpoint holds more flows than fit, the least recently used ones
-        are dropped.
+        are dropped — each counted in ``stats.restore_dropped`` and handed to
+        ``on_evict`` so no flow vanishes silently.  Restored flows count as
+        ``stats.created``; ``stats.evicted`` stays 0 because dropped flows
+        were never live in this table.
         """
         table = cls(
             capacity=int(data["capacity"]) if capacity is None else capacity,
             on_evict=on_evict,
         )
         flows = data["flows"]
-        if len(flows) > table.capacity:
-            flows = flows[len(flows) - table.capacity:]  # keep the MRU tail
-        for flow in flows:
+        overflow = max(0, len(flows) - table.capacity)
+        for flow in flows[:overflow]:  # the LRU head that does not fit
+            table.stats.restore_dropped += 1
+            if on_evict is not None:
+                on_evict(FlowEntry.from_dict(flow))
+        for flow in flows[overflow:]:  # keep the MRU tail
             entry = FlowEntry.from_dict(flow)
             table._entries[entry.key] = entry
+        table.stats.created = len(table._entries)
         return table

@@ -62,14 +62,102 @@ class StreamScanResult:
         return grouped
 
 
-class ScanService:
+def event_order(event: StreamMatch) -> Tuple[int, int, int]:
+    """The canonical event ordering every service reports in."""
+    return (event.packet_id, event.end_offset, event.string_number)
+
+
+class ShardedScanServiceBase:
+    """Sharding, batching and aggregation shared by every scan service.
+
+    The serial :class:`ScanService` and the process-parallel
+    :class:`repro.streaming.executor.ParallelScanService` differ only in
+    *where* a shard's engine lives (this process vs a worker process); the
+    flow→shard mapping, the batch grouping, the result aggregation and the
+    checkpoint envelope live here so the two front-ends cannot drift apart.
+    Both are context managers, so callers can hold either in a ``with`` block
+    (teardown is a no-op for the serial service).
+    """
+
+    program: CompiledProgram
+    num_shards: int
+
+    @staticmethod
+    def _validate_num_shards(num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+
+    def shard_for(self, key: FlowKey) -> int:
+        """Stable flow -> shard mapping (CRC32 of the canonical 5-tuple)."""
+        return zlib.crc32(key.encode()) % self.num_shards
+
+    def _group_by_shard(
+        self, packets: Sequence[Packet]
+    ) -> Dict[int, List[Tuple[int, FlowKey, Packet]]]:
+        """Group ``packets`` by shard, keeping each packet's arrival index.
+
+        Grouping preserves each flow's arrival order (all packets of a flow
+        hash to the same shard and the batch is walked front to back), which
+        is what keeps cross-segment state consistent.
+        """
+        batches: Dict[int, List[Tuple[int, FlowKey, Packet]]] = {}
+        for index, packet in enumerate(packets):
+            key = StreamScanner.flow_key(packet)
+            batches.setdefault(self.shard_for(key), []).append((index, key, packet))
+        return batches
+
+    def _aggregate(
+        self,
+        num_packets: int,
+        events: List[StreamMatch],
+        shard_reports: List[ShardReport],
+    ) -> StreamScanResult:
+        """Sort events into the canonical order and assemble the result.
+
+        ``events`` must arrive in shard order (shard 0's batch front to back,
+        then shard 1's, …): the sort is stable, so the pre-sort order decides
+        ties and both service front-ends must feed the identical order for
+        their reports to be byte-identical.
+        """
+        events.sort(key=event_order)
+        return StreamScanResult(
+            events=events,
+            packets=num_packets,
+            bytes_scanned=sum(report.bytes_scanned for report in shard_reports),
+            shards=shard_reports,
+        )
+
+    def _validate_checkpoint(self, data: Dict) -> None:
+        if int(data["num_shards"]) != self.num_shards:
+            raise ValueError(
+                f"checkpoint has {data['num_shards']} shards, service has {self.num_shards}"
+            )
+        if len(data["shards"]) != self.num_shards:
+            raise ValueError(
+                f"checkpoint lists {len(data['shards'])} shard tables, "
+                f"expected {self.num_shards}"
+            )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the service's resources (no-op for in-process engines)."""
+
+    def __enter__(self) -> "ShardedScanServiceBase":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+class ScanService(ShardedScanServiceBase):
     """Hash-sharded, stateful scanning front-end over one compiled program.
 
     ``program`` is any :class:`repro.backend.CompiledProgram` — the engines
     reference the same compiled structure (mirroring the replicated packet
     groups on the device) but each shard keeps a private flow table, so
     shards share no mutable state and could run on separate cores or
-    processes.
+    processes (:class:`repro.streaming.executor.ParallelScanService` is the
+    front-end that actually does).
     """
 
     def __init__(
@@ -79,8 +167,7 @@ class ScanService:
         flow_capacity_per_shard: int = DEFAULT_FLOW_CAPACITY,
         track_nocase: bool = False,
     ):
-        if num_shards < 1:
-            raise ValueError("num_shards must be at least 1")
+        self._validate_num_shards(num_shards)
         self.program = program
         self.num_shards = num_shards
         self.engines: List[StreamScanner] = [
@@ -93,10 +180,6 @@ class ScanService:
         ]
 
     # ------------------------------------------------------------------
-    def shard_for(self, key: FlowKey) -> int:
-        """Stable flow -> shard mapping (CRC32 of the canonical 5-tuple)."""
-        return zlib.crc32(key.encode()) % self.num_shards
-
     def submit(self, packet: Packet) -> List[StreamMatch]:
         """Scan a single packet on its flow's shard."""
         key = StreamScanner.flow_key(packet)
@@ -105,29 +188,18 @@ class ScanService:
         )
 
     def scan(self, packets: Sequence[Packet]) -> StreamScanResult:
-        """Batched dispatch: group ``packets`` by shard, scan, aggregate.
-
-        Grouping preserves each flow's arrival order (all packets of a flow
-        hash to the same shard and the batch is walked front to back), which
-        is what keeps cross-segment state consistent.
-        """
-        batches: Dict[int, List[Tuple[FlowKey, Packet]]] = {}
-        for packet in packets:
-            key = StreamScanner.flow_key(packet)
-            batches.setdefault(self.shard_for(key), []).append((key, packet))
-
+        """Batched dispatch: group ``packets`` by shard, scan, aggregate."""
+        batches = self._group_by_shard(packets)
         events: List[StreamMatch] = []
         shard_reports: List[ShardReport] = []
-        total_bytes = 0
         for shard, engine in enumerate(self.engines):
             batch = batches.get(shard, [])
             before_matches = engine.stats.matches
             before_evicted = engine.flows.stats.evicted
             batch_bytes = 0
-            for key, packet in batch:
+            for _, key, packet in batch:
                 events.extend(engine.scan_segment(key, packet.payload, packet.packet_id))
                 batch_bytes += len(packet.payload)
-            total_bytes += batch_bytes
             shard_reports.append(
                 ShardReport(
                     shard=shard,
@@ -138,13 +210,7 @@ class ScanService:
                     evicted_flows=engine.flows.stats.evicted - before_evicted,
                 )
             )
-        events.sort(key=lambda e: (e.packet_id, e.end_offset, e.string_number))
-        return StreamScanResult(
-            events=events,
-            packets=len(packets),
-            bytes_scanned=total_bytes,
-            shards=shard_reports,
-        )
+        return self._aggregate(len(packets), events, shard_reports)
 
     # ------------------------------------------------------------------
     @property
@@ -175,16 +241,10 @@ class ScanService:
         """Restore flow state saved by :meth:`checkpoint` (same sharding).
 
         Each shard keeps its *configured* flow capacity — a checkpoint from a
-        larger table never silently raises this service's memory bound.
+        larger table never silently raises this service's memory bound.  The
+        checkpoint envelope is shared with the parallel service, so a serial
+        checkpoint restores into a parallel service and vice versa.
         """
-        if int(data["num_shards"]) != self.num_shards:
-            raise ValueError(
-                f"checkpoint has {data['num_shards']} shards, service has {self.num_shards}"
-            )
-        if len(data["shards"]) != self.num_shards:
-            raise ValueError(
-                f"checkpoint lists {len(data['shards'])} shard tables, "
-                f"expected {self.num_shards}"
-            )
+        self._validate_checkpoint(data)
         for engine, shard_data in zip(self.engines, data["shards"]):
             engine.flows = FlowTable.restore(shard_data, capacity=engine.flows.capacity)

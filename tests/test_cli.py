@@ -85,6 +85,24 @@ def test_scan_stream_backends_report_identically(capsys):
     assert reports["dtp"].count("packet=") == 6
 
 
+def test_scan_stream_workers_report_identical(capsys):
+    serial = _stream_match_report(capsys, "dtp")
+    assert main(["scan-stream", "--size", "40", "--seed", "5", "--flows", "6",
+                 "--packets-per-flow", "3", "--shards", "2", "--workers", "2",
+                 "--print-events"]) == 0
+    out = capsys.readouterr().out
+    assert "worker processes          : 2" in out
+    assert out[out.index("match report:"):] == serial[serial.index("match report:"):]
+
+
+def test_ids_workers_command(capsys):
+    assert main(["ids", "--size", "40", "--seed", "5", "--flows", "6",
+                 "--workers", "2", "--print-alerts"]) == 0
+    out = capsys.readouterr().out
+    assert "split-pattern alerts : 6/6" in out
+    assert out.count("packet=") == 6
+
+
 def test_ids_command(capsys):
     assert main(["ids", "--size", "40", "--seed", "5", "--flows", "6",
                  "--backend", "dense", "--print-alerts"]) == 0

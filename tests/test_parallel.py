@@ -1,0 +1,379 @@
+"""Tests for the process-parallel shard executor and the checkpoint fixes.
+
+Two families of guarantees are pinned down here:
+
+* **equivalence** — :class:`repro.streaming.ParallelScanService` must report
+  the byte-identical event stream, shard reports and checkpoint envelope as
+  the serial :class:`ScanService` in every worker configuration, and a
+  checkpoint taken from either front-end must restore into the other with
+  cross-segment matches intact;
+* **checkpoint correctness** — flow keys survive a JSON round trip with
+  float-typed ports (the sharding/identity bug), and the flow table's
+  created/evicted/restore accounting tells the truth.
+"""
+
+import json
+
+import pytest
+
+from repro.backend import ScanState
+from repro.core import compile_ruleset
+from repro.fpga import STRATIX_III
+from repro.ids import HeaderPattern, IDSRule, IntrusionDetectionSystem
+from repro.rulesets import RuleSet
+from repro.streaming import (
+    FlowEntry,
+    FlowKey,
+    FlowTable,
+    ParallelScanService,
+    ScanService,
+    StreamScanner,
+)
+from repro.traffic import FiveTuple, Packet, TrafficGenerator
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def make_key(n: int = 0) -> FlowKey:
+    return FlowKey(f"10.0.0.{n}", "192.168.0.1", 40000 + n, 80, "tcp")
+
+
+def make_header(n: int = 0) -> FiveTuple:
+    return FiveTuple(f"10.0.0.{n}", "192.168.0.1", 40000 + n, 80, "tcp")
+
+
+@pytest.fixture(scope="module")
+def crafted_ruleset() -> RuleSet:
+    ruleset = RuleSet(name="crafted-parallel")
+    ruleset.add_pattern(b"EVILPAYLOADSIGNATURE")
+    ruleset.add_pattern(b"lowercasesignature")
+    return ruleset
+
+
+@pytest.fixture(scope="module")
+def crafted_program(crafted_ruleset):
+    return compile_ruleset(crafted_ruleset, STRATIX_III)
+
+
+# ----------------------------------------------------------------------
+# satellite bugfix: FlowKey type coercion on restore
+# ----------------------------------------------------------------------
+class TestFlowKeyCoercion:
+    def test_coerced_constructor_canonicalises_types(self):
+        key = FlowKey.coerced("10.0.0.1", "192.168.0.1", 40001.0, 80.0, "tcp")
+        assert key == make_key(1)
+        assert isinstance(key.src_port, int) and isinstance(key.dst_port, int)
+        assert key.encode() == make_key(1).encode()
+
+    def test_from_header_coerces_port_types(self):
+        header = FiveTuple("10.0.0.1", "192.168.0.1", 40001.0, 80.0, "tcp")
+        assert FlowKey.from_header(header) == make_key(1)
+
+    def test_from_dict_coerces_float_ports(self):
+        entry = FlowEntry(key=make_key(2), states=(ScanState(),))
+        data = entry.as_dict()
+        data["key"][2] = float(data["key"][2])  # what a JSON writer may emit
+        data["key"][3] = float(data["key"][3])
+        restored = FlowEntry.from_dict(data)
+        assert restored.key == make_key(2)
+        assert restored.key.encode() == make_key(2).encode()
+
+    def test_float_port_checkpoint_resumes_flow_and_sharding(
+        self, crafted_program, crafted_ruleset
+    ):
+        """The regression proper: a float-port checkpoint used to produce a
+        key encoding ``"80.0"``, so the restored flow neither resumed nor
+        landed on the live traffic's shard."""
+        pattern = crafted_ruleset[0].pattern
+        header = make_header(3)
+        service = ScanService(crafted_program, num_shards=4)
+        assert service.submit(Packet(payload=pattern[:9], header=header, packet_id=0)) == []
+
+        snapshot = json.loads(json.dumps(service.checkpoint()))
+        for shard_data in snapshot["shards"]:
+            for flow in shard_data["flows"]:
+                flow["key"][2] = float(flow["key"][2])
+                flow["key"][3] = float(flow["key"][3])
+
+        resumed = ScanService(crafted_program, num_shards=4)
+        resumed.restore(snapshot)
+        live_key = FlowKey.from_header(header)
+        restored_key = resumed.engines[resumed.shard_for(live_key)].flows.keys()[0]
+        assert restored_key == live_key
+        assert resumed.shard_for(restored_key) == service.shard_for(live_key)
+        matches = resumed.submit(Packet(payload=pattern[9:], header=header, packet_id=1))
+        assert [m.string_number for m in matches] == [0]
+
+
+# ----------------------------------------------------------------------
+# satellite bugfix: flow-table statistics accounting
+# ----------------------------------------------------------------------
+class TestFlowTableAccounting:
+    @staticmethod
+    def entry(n: int) -> FlowEntry:
+        return FlowEntry(key=make_key(n), states=(ScanState(),))
+
+    def test_insert_overwrite_does_not_count_as_created(self):
+        table = FlowTable(capacity=4)
+        table.insert(self.entry(1))
+        table.insert(self.entry(1))  # overwrite, not a new flow
+        assert len(table) == 1
+        assert table.stats.created == 1
+        table.insert(self.entry(2))
+        assert table.stats.created == 2
+
+    def test_restore_counts_created(self):
+        table = FlowTable(capacity=8)
+        for n in range(3):
+            table.insert(self.entry(n))
+        restored = FlowTable.restore(table.checkpoint())
+        assert restored.stats.created == 3
+        assert restored.stats.evicted == 0
+        assert restored.stats.restore_dropped == 0
+
+    def test_restore_overflow_counts_drops_and_invokes_on_evict(self):
+        table = FlowTable(capacity=8)
+        for n in range(5):
+            table.insert(self.entry(n))
+        dropped = []
+        restored = FlowTable.restore(
+            table.checkpoint(), capacity=2, on_evict=dropped.append
+        )
+        assert len(restored) == 2
+        assert restored.stats.restore_dropped == 3
+        assert restored.stats.created == 2
+        assert restored.stats.evicted == 0  # drops are not LRU evictions
+        # the LRU head was dropped, oldest first, and handed to on_evict
+        assert [e.key for e in dropped] == [make_key(0), make_key(1), make_key(2)]
+        assert make_key(3) in restored and make_key(4) in restored
+
+
+# ----------------------------------------------------------------------
+# tentpole: parallel/serial equivalence
+# ----------------------------------------------------------------------
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_randomized_traffic_identical_events_and_reports(
+        self, small_program, small_ruleset, workers
+    ):
+        generator = TrafficGenerator(small_ruleset, seed=47)
+        flows = generator.flows(14, num_packets=4, split_patterns=1, segment_bytes=90)
+        packets = TrafficGenerator.interleave(flows)
+        first, second = packets[: len(packets) // 2], packets[len(packets) // 2:]
+
+        serial = ScanService(small_program, num_shards=4)
+        with ParallelScanService(small_program, num_shards=4, workers=workers) as parallel:
+            # two consecutive batches: state must carry across scan() calls
+            for batch in (first, second):
+                result_serial = serial.scan(batch)
+                result_parallel = parallel.scan(batch)
+                assert result_parallel.events == result_serial.events
+                assert result_parallel.shards == result_serial.shards
+                assert result_parallel.packets == result_serial.packets
+                assert result_parallel.bytes_scanned == result_serial.bytes_scanned
+            assert parallel.active_flows == serial.active_flows
+            assert parallel.shard_occupancy() == serial.shard_occupancy()
+            assert parallel.cross_segment_matches == serial.cross_segment_matches
+            assert parallel.evicted_flows == serial.evicted_flows
+
+    def test_submit_matches_serial_submit(self, crafted_program, crafted_ruleset):
+        pattern = crafted_ruleset[0].pattern
+        header = make_header(4)
+        serial = ScanService(crafted_program, num_shards=2)
+        with ParallelScanService(crafted_program, num_shards=2, workers=2) as parallel:
+            for packet_id, payload in enumerate((pattern[:6], pattern[6:])):
+                packet = Packet(payload=payload, header=header, packet_id=packet_id)
+                assert parallel.submit(packet) == serial.submit(packet)
+
+    def test_nocase_events_identical(self, crafted_program):
+        header = make_header(5)
+        packets = [
+            Packet(payload=b"xx LowerCase", header=header, packet_id=0),
+            Packet(payload=b"Signature yy", header=header, packet_id=1),
+        ]
+        serial = ScanService(crafted_program, num_shards=2, track_nocase=True)
+        with ParallelScanService(
+            crafted_program, num_shards=2, workers=2, track_nocase=True
+        ) as parallel:
+            result_serial = serial.scan(packets)
+            result_parallel = parallel.scan(packets)
+        assert result_parallel.events == result_serial.events
+        assert any(event.lowered for event in result_parallel.events)
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_serial_checkpoint_restores_into_parallel(
+        self, crafted_program, crafted_ruleset, workers
+    ):
+        pattern = crafted_ruleset[0].pattern
+        header = make_header(6)
+        serial = ScanService(crafted_program, num_shards=2)
+        assert serial.submit(Packet(payload=pattern[:9], header=header, packet_id=0)) == []
+        snapshot = serial.checkpoint()
+
+        with ParallelScanService(crafted_program, num_shards=2, workers=workers) as parallel:
+            parallel.restore(snapshot)
+            matches = parallel.submit(
+                Packet(payload=pattern[9:], header=header, packet_id=1)
+            )
+            assert [m.string_number for m in matches] == [0]
+            # the match straddles the checkpoint boundary
+            assert matches[0].end_offset == len(pattern)
+            assert parallel.cross_segment_matches == 1
+
+    def test_parallel_checkpoint_restores_into_serial(
+        self, crafted_program, crafted_ruleset
+    ):
+        pattern = crafted_ruleset[0].pattern
+        header = make_header(7)
+        with ParallelScanService(crafted_program, num_shards=2, workers=2) as parallel:
+            assert parallel.submit(
+                Packet(payload=pattern[:9], header=header, packet_id=0)
+            ) == []
+            snapshot = parallel.checkpoint()
+
+        serial = ScanService(crafted_program, num_shards=2)
+        serial.restore(snapshot)
+        matches = serial.submit(Packet(payload=pattern[9:], header=header, packet_id=1))
+        assert [m.string_number for m in matches] == [0]
+        assert serial.cross_segment_matches == 1
+
+    def test_parallel_checkpoint_across_worker_counts(
+        self, crafted_program, crafted_ruleset
+    ):
+        """num_shards is the checkpoint contract; the worker count is not."""
+        pattern = crafted_ruleset[0].pattern
+        header = make_header(8)
+        with ParallelScanService(crafted_program, num_shards=4, workers=2) as first:
+            first.submit(Packet(payload=pattern[:7], header=header, packet_id=0))
+            snapshot = first.checkpoint()
+        with ParallelScanService(crafted_program, num_shards=4, workers=4) as second:
+            second.restore(snapshot)
+            matches = second.submit(
+                Packet(payload=pattern[7:], header=header, packet_id=1)
+            )
+        assert [m.string_number for m in matches] == [0]
+
+    def test_restore_rejects_shard_mismatch(self, crafted_program):
+        snapshot = ScanService(crafted_program, num_shards=2).checkpoint()
+        with ParallelScanService(crafted_program, num_shards=3, workers=1) as parallel:
+            with pytest.raises(ValueError):
+                parallel.restore(snapshot)
+
+    def test_worker_count_validation(self, crafted_program):
+        with pytest.raises(ValueError):
+            ParallelScanService(crafted_program, num_shards=2, workers=0)
+        with pytest.raises(ValueError):
+            ParallelScanService(crafted_program, num_shards=2, workers=3)
+        with pytest.raises(ValueError):
+            ParallelScanService(crafted_program, num_shards=0)
+
+    def test_closed_service_rejects_scans(self, crafted_program):
+        service = ParallelScanService(crafted_program, num_shards=2, workers=1)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            service.scan([])
+
+
+# ----------------------------------------------------------------------
+# IDS over the parallel executor
+# ----------------------------------------------------------------------
+class TestParallelIDS:
+    @staticmethod
+    def build_ids(workers=None) -> IntrusionDetectionSystem:
+        rules = [
+            IDSRule(
+                sid=1001,
+                header=HeaderPattern(protocol="tcp", dst_port="80"),
+                contents=(b"EVILPAYLOADSIGNATURE",),
+                msg="split signature",
+            ),
+            IDSRule(
+                sid=1002,
+                header=HeaderPattern(protocol="tcp"),
+                contents=(b"XMALICIOUSSHELLCODEX", b"QQBACKDOORBEACONQQ"),
+                msg="two contents",
+            ),
+            IDSRule(
+                sid=2001,
+                header=HeaderPattern(),
+                contents=(b"evilpayloadsignature",),
+                nocase=(True,),
+            ),
+        ]
+        return IntrusionDetectionSystem(rules, workers=workers)
+
+    @staticmethod
+    def traffic():
+        one, two, three = make_header(1), make_header(2), make_header(3)
+        return [
+            Packet(payload=b"GET EVILPAY", header=one, packet_id=0),
+            Packet(payload=b"XMALICIOUSSHELLCODEX", header=two, packet_id=0),
+            Packet(payload=b"LOADSIGNATURE\r\n", header=one, packet_id=1),
+            Packet(payload=b"QQBACKDOOR", header=two, packet_id=1),
+            Packet(payload=b"EvIlPaYlOaDsIgNaTuRe", header=three, packet_id=0),
+            Packet(payload=b"BEACONQQ", header=two, packet_id=2),
+            Packet(payload=b"EVILPAYLOADSIGNATURE", header=one, packet_id=2),
+        ]
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_alerts_match_serial_scan_flow(self, workers):
+        serial = self.build_ids()
+        expected = serial.scan_flow(self.traffic())
+        assert expected, "the workload must actually raise alerts"
+        with self.build_ids(workers=workers) as parallel:
+            alerts = parallel.scan_flow(self.traffic())
+            assert alerts == expected
+            assert parallel.stats.alerts_raised == serial.stats.alerts_raised
+            assert parallel.stats.content_matches == serial.stats.content_matches
+            assert parallel.stats.header_candidates == serial.stats.header_candidates
+            assert parallel.stats.payload_bytes == serial.stats.payload_bytes
+
+    def test_eviction_resets_flow_state_like_serial(self):
+        """workers=1 shares the serial path's single LRU table semantics, so
+        alert behaviour under eviction pressure must match exactly —
+        including the re-alert after a flow is forgotten and re-seen."""
+        serial = self.build_ids()
+        serial.reset_flows(capacity=1)
+        with self.build_ids(workers=1) as parallel:
+            parallel.reset_flows(capacity=1)  # pool is rebuilt lazily at this size
+
+            one, two = make_header(1), make_header(2)
+            packets = [
+                Packet(payload=b"EVILPAYLOAD", header=one, packet_id=0),
+                Packet(payload=b"other flow", header=two, packet_id=0),  # evicts flow 1
+                Packet(payload=b"SIGNATURE", header=one, packet_id=1),  # no alert: state lost
+                Packet(payload=b"EVILPAYLOADSIGNATURE", header=one, packet_id=2),
+            ]
+            expected = serial.scan_flow(packets)
+            alerts = parallel.scan_flow(packets)
+            assert alerts == expected
+            assert [a.sid for a in alerts].count(1001) == 1
+
+    def test_state_persists_across_scan_flow_calls(self):
+        """Multi-content completion and once-per-flow alerting must span
+        separate scan_flow calls, exactly like the serial FlowEntry state
+        (the worker-side automaton state already does)."""
+        serial = self.build_ids()
+        with self.build_ids(workers=2) as parallel:
+            header = make_header(2)
+            batches = [
+                [Packet(payload=b"XMALICIOUSSHELLCODEX", header=header, packet_id=0)],
+                [Packet(payload=b"QQBACKDOORBEACONQQ", header=header, packet_id=1)],
+                [Packet(payload=b"QQBACKDOORBEACONQQ bis", header=header, packet_id=2)],
+            ]
+            per_call = []
+            for batch in batches:
+                expected = serial.scan_flow(batch)
+                assert parallel.scan_flow(batch) == expected
+                per_call.append(expected)
+        # the rule completed on the second call and never re-alerted
+        assert [[a.sid for a in alerts] for alerts in per_call] == [[], [1002], []]
+
+    def test_parallel_service_requires_workers(self):
+        with pytest.raises(ValueError):
+            self.build_ids().parallel_service
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            self.build_ids(workers=0)
