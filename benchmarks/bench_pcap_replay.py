@@ -1,0 +1,247 @@
+"""Pcap replay sweep: capture decode throughput and replay overhead per backend.
+
+An interleaved multi-packet flow workload is exported as a pcap via the
+capture subsystem, then scanned two ways per backend: directly in memory
+(the baseline every PR so far measured) and as a full replay — read the
+container, decode every frame down to its TCP/UDP payload, scan.  The
+machine-readable ``BENCH_pcap.json`` records:
+
+* container decode + frame decode throughput in MB/s (payload bytes per
+  second of ``load_packets``, per container format);
+* per-backend in-memory vs replay scan throughput and the replay's relative
+  cost (``replay_vs_memory``, the fraction of in-memory throughput the
+  end-to-end replay path retains);
+* whether the replayed event stream was byte-identical to the in-memory
+  scan — the correctness contract the subsystem makes
+  (``events_identical_everywhere``).
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_pcap_replay.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_pcap_replay.py --smoke    # CI smoke
+
+or through pytest (smoke-sized, asserts the artifact structure):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pcap_replay.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend import get_backend
+from repro.capture import load_packets, read_capture, write_packets
+from repro.core import compile_ruleset
+from repro.fpga import STRATIX_III
+from repro.rulesets import generate_snort_like_ruleset
+from repro.streaming import ScanService
+from repro.traffic import TrafficGenerator
+from repro.traffic.packet import Packet
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_pcap.json"
+
+BENCH_SEED = 2010
+NUM_SHARDS = 4
+BACKENDS = ("dtp", "dense", "ac")
+
+FULL_RULESET_SIZE = 200
+FULL_FLOWS = 256
+FULL_SEGMENTS_PER_FLOW = 8
+FULL_SEGMENT_BYTES = 512
+FULL_REPEATS = 3
+
+SMOKE_RULESET_SIZE = 40
+SMOKE_FLOWS = 8
+SMOKE_SEGMENTS_PER_FLOW = 4
+SMOKE_SEGMENT_BYTES = 256
+SMOKE_REPEATS = 1
+
+
+def build_workload(ruleset, flow_count: int, segments: int, segment_bytes: int):
+    """Deterministic interleaved flows, re-id'd in arrival order (the id
+    convention a capture replay uses, so event streams are comparable)."""
+    generator = TrafficGenerator(ruleset, seed=BENCH_SEED + 1)
+    flows = generator.flows(
+        flow_count,
+        num_packets=segments,
+        split_patterns=1,
+        segment_bytes=segment_bytes,
+    )
+    packets = TrafficGenerator.interleave(flows)
+    return [
+        Packet(packet.payload, packet.header, index)
+        for index, packet in enumerate(packets)
+    ]
+
+
+def best_of(repeats: int, action):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = action()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def bench_decode(capture_blob: bytes, payload_bytes: int, fmt: str, repeats: int) -> Dict:
+    seconds, (packets, stats) = best_of(
+        repeats, lambda: load_packets(io.BytesIO(capture_blob))
+    )
+    assert stats.skipped_total == 0
+    read_seconds, _ = best_of(repeats, lambda: read_capture(io.BytesIO(capture_blob)))
+    return {
+        "format": fmt,
+        "capture_bytes": len(capture_blob),
+        "frames": stats.frames,
+        "payload_bytes": payload_bytes,
+        "container_read_mb_per_s": len(capture_blob) / read_seconds / 1e6,
+        "decode_mb_per_s": payload_bytes / seconds / 1e6,
+        "decode_seconds": seconds,
+    }
+
+
+def bench_backend(backend: str, ruleset, packets, capture_blob: bytes, repeats: int) -> Dict:
+    if backend == "dtp":
+        program = compile_ruleset(ruleset, STRATIX_III)
+    else:
+        program = get_backend(backend).compile(ruleset.patterns)
+    payload_bytes = sum(len(packet.payload) for packet in packets)
+
+    memory_seconds, memory_result = best_of(
+        repeats, lambda: ScanService(program, num_shards=NUM_SHARDS).scan(packets)
+    )
+
+    def replay():
+        loaded, _ = load_packets(io.BytesIO(capture_blob))
+        return ScanService(program, num_shards=NUM_SHARDS).scan(loaded)
+
+    replay_seconds, replay_result = best_of(repeats, replay)
+    return {
+        "backend": backend,
+        "events": len(memory_result.events),
+        "memory_mb_per_s": payload_bytes / memory_seconds / 1e6,
+        "replay_mb_per_s": payload_bytes / replay_seconds / 1e6,
+        "replay_vs_memory": memory_seconds / replay_seconds,
+        "events_identical": replay_result.events == memory_result.events,
+    }
+
+
+def run_sweep(smoke: bool = False, repeats: Optional[int] = None) -> Dict:
+    ruleset_size = SMOKE_RULESET_SIZE if smoke else FULL_RULESET_SIZE
+    flows = SMOKE_FLOWS if smoke else FULL_FLOWS
+    segments = SMOKE_SEGMENTS_PER_FLOW if smoke else FULL_SEGMENTS_PER_FLOW
+    segment_bytes = SMOKE_SEGMENT_BYTES if smoke else FULL_SEGMENT_BYTES
+    repeats = repeats if repeats is not None else (SMOKE_REPEATS if smoke else FULL_REPEATS)
+
+    ruleset = generate_snort_like_ruleset(ruleset_size, seed=BENCH_SEED)
+    packets = build_workload(ruleset, flows, segments, segment_bytes)
+    payload_bytes = sum(len(packet.payload) for packet in packets)
+
+    captures: Dict[str, bytes] = {}
+    for fmt in ("pcap", "pcapng"):
+        buffer = io.BytesIO()
+        write_packets(buffer, packets, fmt=fmt)
+        captures[fmt] = buffer.getvalue()
+
+    decode = [
+        bench_decode(captures[fmt], payload_bytes, fmt, repeats)
+        for fmt in ("pcap", "pcapng")
+    ]
+    backends = [
+        bench_backend(backend, ruleset, packets, captures["pcap"], repeats)
+        for backend in BACKENDS
+    ]
+
+    return {
+        "generated_by": "benchmarks/bench_pcap_replay.py",
+        "mode": "smoke" if smoke else "full",
+        "seed": BENCH_SEED,
+        "ruleset_size": ruleset_size,
+        "num_shards": NUM_SHARDS,
+        "flows": flows,
+        "segments_per_flow": segments,
+        "segment_bytes": segment_bytes,
+        "packets": len(packets),
+        "payload_bytes": payload_bytes,
+        "repeats": repeats,
+        "decode": decode,
+        "backends": backends,
+        "events_identical_everywhere": all(
+            entry["events_identical"] for entry in backends
+        ),
+    }
+
+
+def format_report(report: Dict) -> str:
+    lines = [
+        f"pcap replay sweep ({report['mode']}): {report['ruleset_size']} strings, "
+        f"{report['packets']} packets, {report['payload_bytes']} payload bytes"
+    ]
+    for entry in report["decode"]:
+        lines.append(
+            f"  {entry['format']:<7s} container {entry['container_read_mb_per_s']:>9.1f} MB/s"
+            f"   frame decode {entry['decode_mb_per_s']:>8.2f} MB/s"
+        )
+    lines.append(
+        f"{'backend':>10s} {'memory MB/s':>12s} {'replay MB/s':>12s} {'replay/mem':>11s}"
+    )
+    for entry in report["backends"]:
+        lines.append(
+            f"{entry['backend']:>10s} {entry['memory_mb_per_s']:>12.2f} "
+            f"{entry['replay_mb_per_s']:>12.2f} {entry['replay_vs_memory']:>10.2f}x"
+        )
+    lines.append(
+        "replayed event streams byte-identical: "
+        + ("yes" if report["events_identical_everywhere"] else "NO — BUG")
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, output: pathlib.Path) -> pathlib.Path:
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return output
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI smoke runs")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    report = run_sweep(smoke=args.smoke, repeats=args.repeats)
+    path = write_report(report, args.output)
+    print(format_report(report))
+    print(f"wrote {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (smoke-sized so the full benchmark run stays fast)
+# ----------------------------------------------------------------------
+def test_pcap_replay_sweep_smoke(results_dir):
+    report = run_sweep(smoke=True)
+    path = write_report(report, results_dir / "BENCH_pcap_smoke.json")
+    assert path.exists()
+    assert report["events_identical_everywhere"], (
+        "replayed event streams must be byte-identical to the in-memory scan"
+    )
+    for entry in report["decode"]:
+        assert entry["decode_mb_per_s"] > 0
+        assert entry["frames"] == report["packets"]
+    for entry in report["backends"]:
+        assert entry["events"] > 0
+        assert entry["memory_mb_per_s"] > 0 and entry["replay_mb_per_s"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

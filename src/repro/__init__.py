@@ -14,6 +14,8 @@ The package is organised as:
 * :mod:`repro.hardware` — cycle-level simulation of the engines/blocks;
 * :mod:`repro.fpga`     — device, resource, power and throughput models;
 * :mod:`repro.traffic`  — packets, multi-packet flows and traffic generation;
+* :mod:`repro.capture`  — pcap/pcapng capture I/O, frame en/decoding and
+  replay through every scan layer;
 * :mod:`repro.streaming`— stateful flow scanning: cross-packet matching, the
   LRU flow table and the sharded scan service;
 * :mod:`repro.ids`      — an end-to-end mini intrusion detection pipeline;
@@ -46,6 +48,21 @@ per-packet scan but found by the stateful scan service:
     ...               for _, number in program.match(packet.payload)}
     >>> set(flow.split_sids) & per_packet
     set()
+
+Captures round-trip: the flow written as a pcap, read back and replayed,
+reports the identical events:
+
+    >>> import io
+    >>> from repro import load_packets, write_packets
+    >>> capture = io.BytesIO()
+    >>> write_packets(capture, flow.packets)
+    3
+    >>> _ = capture.seek(0)
+    >>> replayed, stats = load_packets(capture)
+    >>> [p.payload for p in replayed] == [p.payload for p in flow.packets]
+    True
+    >>> ScanService(program, num_shards=2).scan(replayed).events == result.events
+    True
 """
 
 from .automata import (
@@ -64,6 +81,18 @@ from .backend import (
     backend_names,
     get_backend,
     register_backend,
+)
+from .capture import (
+    CaptureFile,
+    CaptureRecord,
+    load_packets,
+    read_capture,
+    replay_ids,
+    replay_scan,
+    replay_stream,
+    write_packets,
+    write_pcap,
+    write_pcapng,
 )
 from .core import (
     AcceleratorProgram,
@@ -117,6 +146,16 @@ __all__ = [
     "Trie",
     "WuManber",
     "Backend",
+    "CaptureFile",
+    "CaptureRecord",
+    "load_packets",
+    "read_capture",
+    "replay_ids",
+    "replay_scan",
+    "replay_stream",
+    "write_packets",
+    "write_pcap",
+    "write_pcapng",
     "CompiledProgram",
     "all_backends",
     "backend_names",

@@ -1,0 +1,291 @@
+"""Link/network/transport frame codec between capture bytes and the Packet model.
+
+:func:`decode_frame` turns one captured frame into the 5-tuple header and the
+TCP/UDP payload the scan layers operate on; :func:`encode_frame` is its
+inverse, used to export generated traffic as standards-conformant captures.
+Supported layers:
+
+* link: Ethernet (including 802.1Q VLAN tags), Linux cooked capture (SLL)
+  and raw IP (``LINKTYPE_RAW``);
+* network: IPv4 (options skipped, every fragment rejected — reassembly is
+  out of scope and a first fragment's partial payload would silently miss
+  boundary-spanning patterns) and IPv6 (hop-by-hop/routing/
+  destination-options/fragment extension chains walked);
+* transport: TCP and UDP.
+
+Frames outside that set — ARP, ICMP, IP fragments — decode to
+``None`` with a reason, so replay can count what it skipped instead of
+failing on real-world captures.  Encoding is deterministic: fixed MAC
+addresses, zero TCP sequence numbers and correct IPv4/TCP/UDP checksums, so
+a written capture is byte-stable for a given packet stream and accepted by
+standard tools.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..traffic.packet import FiveTuple
+from .pcap import LINKTYPE_ETHERNET, LINKTYPE_LINUX_SLL, LINKTYPE_RAW
+
+_ETHERTYPE_IPV4 = 0x0800
+_ETHERTYPE_IPV6 = 0x86DD
+_ETHERTYPE_VLAN = 0x8100
+
+_IPPROTO_TCP = 6
+_IPPROTO_UDP = 17
+
+#: IPv6 extension headers that carry a ``(next_header, length)`` prefix.
+_IPV6_EXTENSIONS = {0, 43, 60}
+_IPV6_FRAGMENT = 44
+
+#: Deterministic MACs for encoded frames (locally administered range).
+_SRC_MAC = bytes.fromhex("020000000001")
+_DST_MAC = bytes.fromhex("020000000002")
+
+_PROTO_NUMBER = {"tcp": _IPPROTO_TCP, "udp": _IPPROTO_UDP}
+_PROTO_NAME = {number: name for name, number in _PROTO_NUMBER.items()}
+
+
+class FrameEncodeError(ValueError):
+    """Raised when a packet cannot be rendered as a capture frame."""
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """One successfully decoded frame: the scan-layer view of the bytes."""
+
+    header: FiveTuple
+    payload: bytes
+
+
+def _checksum(data: bytes) -> int:
+    """RFC 1071 ones'-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def decode_frame(
+    data: bytes, linktype: int = LINKTYPE_ETHERNET
+) -> Tuple[Optional[DecodedFrame], Optional[str]]:
+    """Decode one captured frame; returns ``(frame, None)`` or ``(None, reason)``.
+
+    ``reason`` is a short stable token (``"link"``, ``"network"``,
+    ``"transport"``, ``"truncated"``) suitable for aggregation into replay
+    statistics.
+    """
+    if linktype == LINKTYPE_ETHERNET:
+        if len(data) < 14:
+            return None, "truncated"
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        offset = 14
+        while ethertype == _ETHERTYPE_VLAN:
+            if len(data) < offset + 4:
+                return None, "truncated"
+            (ethertype,) = struct.unpack_from("!H", data, offset + 2)
+            offset += 4
+        packet = data[offset:]
+    elif linktype == LINKTYPE_LINUX_SLL:
+        if len(data) < 16:
+            return None, "truncated"
+        (ethertype,) = struct.unpack_from("!H", data, 14)
+        packet = data[16:]
+    elif linktype == LINKTYPE_RAW:
+        if not data:
+            return None, "truncated"
+        version = data[0] >> 4
+        ethertype = _ETHERTYPE_IPV4 if version == 4 else _ETHERTYPE_IPV6
+        packet = data
+    else:
+        return None, "link"
+
+    if ethertype == _ETHERTYPE_IPV4:
+        return _decode_ipv4(packet)
+    if ethertype == _ETHERTYPE_IPV6:
+        return _decode_ipv6(packet)
+    return None, "network"
+
+
+def _decode_ipv4(packet: bytes) -> Tuple[Optional[DecodedFrame], Optional[str]]:
+    if len(packet) < 20:
+        return None, "truncated"
+    if packet[0] >> 4 != 4:
+        return None, "network"
+    header_len = (packet[0] & 0x0F) * 4
+    total_len = struct.unpack_from("!H", packet, 2)[0]
+    if header_len < 20 or len(packet) < total_len or total_len < header_len:
+        return None, "truncated"
+    flags_fragment = struct.unpack_from("!H", packet, 6)[0]
+    # any fragment is unscannable without reassembly: a non-first fragment
+    # (offset != 0) has no transport header, a first fragment (MF set) has a
+    # partial payload that would silently miss boundary-spanning patterns
+    if flags_fragment & 0x3FFF:  # offset bits | more-fragments
+        return None, "network"
+    protocol = packet[9]
+    src = str(ipaddress.IPv4Address(packet[12:16]))
+    dst = str(ipaddress.IPv4Address(packet[16:20]))
+    return _decode_transport(
+        protocol, src, dst, packet[header_len:total_len]
+    )
+
+
+def _decode_ipv6(packet: bytes) -> Tuple[Optional[DecodedFrame], Optional[str]]:
+    if len(packet) < 40:
+        return None, "truncated"
+    if packet[0] >> 4 != 6:
+        return None, "network"
+    payload_len, next_header = struct.unpack_from("!HB", packet, 4)
+    src = str(ipaddress.IPv6Address(packet[8:24]))
+    dst = str(ipaddress.IPv6Address(packet[24:40]))
+    end = 40 + payload_len
+    if len(packet) < end:
+        return None, "truncated"
+    position = 40
+    while next_header in _IPV6_EXTENSIONS or next_header == _IPV6_FRAGMENT:
+        if position + 8 > end:
+            return None, "truncated"
+        if next_header == _IPV6_FRAGMENT:
+            # offset bits | M flag: only atomic fragments are complete
+            if struct.unpack_from("!H", packet, position + 2)[0] & 0xFFF9:
+                return None, "network"
+            next_header = packet[position]
+            position += 8
+        else:
+            next_header, ext_len = struct.unpack_from("!BB", packet, position)
+            position += (ext_len + 1) * 8
+    return _decode_transport(next_header, src, dst, packet[position:end])
+
+
+def _decode_transport(
+    protocol: int, src: str, dst: str, segment: bytes
+) -> Tuple[Optional[DecodedFrame], Optional[str]]:
+    if protocol == _IPPROTO_TCP:
+        if len(segment) < 20:
+            return None, "truncated"
+        src_port, dst_port = struct.unpack_from("!HH", segment, 0)
+        data_offset = (segment[12] >> 4) * 4
+        if data_offset < 20 or data_offset > len(segment):
+            return None, "truncated"
+        payload = segment[data_offset:]
+    elif protocol == _IPPROTO_UDP:
+        if len(segment) < 8:
+            return None, "truncated"
+        src_port, dst_port, length = struct.unpack_from("!HHH", segment, 0)
+        if length < 8 or length > len(segment):
+            return None, "truncated"
+        payload = segment[8:length]
+    else:
+        return None, "transport"
+    header = FiveTuple(
+        src_ip=src,
+        dst_ip=dst,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=_PROTO_NAME[protocol],
+    )
+    return DecodedFrame(header=header, payload=payload), None
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def encode_frame(
+    header: FiveTuple, payload: bytes, linktype: int = LINKTYPE_ETHERNET
+) -> bytes:
+    """Render a header + payload as one frame of the given link type.
+
+    The inverse of :func:`decode_frame` for the supported 5-tuples:
+    ``decode_frame(encode_frame(h, p))`` returns exactly ``(h, p)``.
+    """
+    protocol = _PROTO_NUMBER.get(header.protocol.lower())
+    if protocol is None:
+        raise FrameEncodeError(
+            f"cannot encode protocol {header.protocol!r} (only tcp/udp)"
+        )
+    try:
+        src = ipaddress.ip_address(header.src_ip)
+        dst = ipaddress.ip_address(header.dst_ip)
+    except ValueError as exc:
+        raise FrameEncodeError(f"cannot encode addresses of {header}") from exc
+    if src.version != dst.version:
+        raise FrameEncodeError(f"mixed IPv4/IPv6 addresses in {header}")
+
+    transport_header = 20 if protocol == _IPPROTO_TCP else 8
+    max_segment = 0xFFFF - 20 if src.version == 4 else 0xFFFF
+    if transport_header + len(payload) > max_segment:
+        raise FrameEncodeError(
+            f"payload of {len(payload)} bytes does not fit the 16-bit length "
+            f"fields of one IPv{src.version} frame"
+        )
+    segment = _encode_transport(protocol, header, payload, src, dst)
+    if src.version == 4:
+        ip_header = struct.pack(
+            "!BBHHHBBH4s4s",
+            0x45, 0, 20 + len(segment), 0, 0x4000, 64, protocol, 0,
+            src.packed, dst.packed,
+        )
+        checksum = _checksum(ip_header)
+        packet = ip_header[:10] + struct.pack("!H", checksum) + ip_header[12:] + segment
+        ethertype = _ETHERTYPE_IPV4
+    else:
+        packet = (
+            struct.pack("!IHBB", 6 << 28, len(segment), protocol, 64)
+            + src.packed
+            + dst.packed
+            + segment
+        )
+        ethertype = _ETHERTYPE_IPV6
+
+    if linktype == LINKTYPE_ETHERNET:
+        return _DST_MAC + _SRC_MAC + struct.pack("!H", ethertype) + packet
+    if linktype == LINKTYPE_RAW:
+        return packet
+    if linktype == LINKTYPE_LINUX_SLL:
+        # outgoing packet, ARPHRD_ETHER, 6-byte sender address
+        return (
+            struct.pack("!HHH", 4, 1, 6)
+            + _SRC_MAC + b"\x00\x00"
+            + struct.pack("!H", ethertype)
+            + packet
+        )
+    raise FrameEncodeError(f"cannot encode link type {linktype}")
+
+
+def _encode_transport(protocol, header, payload, src, dst) -> bytes:
+    if protocol == _IPPROTO_TCP:
+        segment = struct.pack(
+            "!HHIIBBHHH",
+            header.src_port, header.dst_port,
+            0, 0,  # deterministic sequence numbers: replay ignores them
+            5 << 4, 0x18,  # data offset 5 words; PSH|ACK
+            0xFFFF, 0, 0,
+        ) + payload
+    else:
+        segment = struct.pack(
+            "!HHHH", header.src_port, header.dst_port, 8 + len(payload), 0
+        ) + payload
+
+    pseudo = src.packed + dst.packed + (
+        struct.pack("!BBH", 0, protocol, len(segment))
+        if src.version == 4
+        else struct.pack("!IHBB", len(segment), 0, 0, protocol)
+    )
+    checksum = _checksum(pseudo + segment)
+    if protocol == _IPPROTO_UDP and checksum == 0:
+        checksum = 0xFFFF  # 0 means "no checksum" on the wire (RFC 768)
+    checksum_at = 16 if protocol == _IPPROTO_TCP else 6
+    return (
+        segment[:checksum_at]
+        + struct.pack("!H", checksum)
+        + segment[checksum_at + 2:]
+    )

@@ -1,0 +1,386 @@
+"""Pure-stdlib pcap and pcapng capture-file I/O.
+
+The scan layers built so far could only be fed synthetic
+:class:`repro.traffic.TrafficGenerator` streams; this module is the disk half
+of the capture/replay subsystem that lets *real* traffic through them.  Two
+container formats are supported:
+
+* classic **pcap** (the tcpdump format): 24-byte global header (either
+  endianness, microsecond ``0xA1B2C3D4`` or nanosecond ``0xA1B23C4D`` magic)
+  followed by 16-byte-headed records;
+* **pcapng**, restricted to the classic block types every writer emits:
+  Section Header, Interface Description, Enhanced Packet and Simple Packet
+  blocks (options are skipped except ``if_tsresol``, which is honoured so
+  timestamps come out right).  Unknown block types are ignored, as the
+  pcapng spec requires.
+
+Timestamps are normalised to integer **nanoseconds** (``CaptureRecord.ts_ns``)
+regardless of the container's resolution, so records round-trip between
+formats without floating-point drift.  Only the container lives here; frame
+decoding is :mod:`repro.capture.frames` and scan-layer replay is
+:mod:`repro.capture.replay`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterable, List, Optional, Tuple, Union
+
+#: Link-layer types (the registry values pcap and pcapng share).
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+LINKTYPE_LINUX_SLL = 113
+
+PCAP_MAGIC_MICRO = 0xA1B2C3D4
+PCAP_MAGIC_NANO = 0xA1B23C4D
+PCAPNG_BLOCK_SHB = 0x0A0D0D0A
+PCAPNG_BYTE_ORDER_MAGIC = 0x1A2B3C4D
+PCAPNG_BLOCK_IDB = 0x00000001
+PCAPNG_BLOCK_SPB = 0x00000003
+PCAPNG_BLOCK_EPB = 0x00000006
+
+_OPT_ENDOFOPT = 0
+_OPT_IF_TSRESOL = 9
+
+PathOrIO = Union[str, "os.PathLike[str]", BinaryIO]
+
+
+class CaptureError(ValueError):
+    """Raised when a capture file is malformed or of an unknown format."""
+
+
+@dataclass
+class CaptureRecord:
+    """One captured frame: raw link-layer bytes plus capture metadata.
+
+    ``ts_ns`` is nanoseconds since the epoch; ``orig_len`` is the frame's
+    length on the wire (``len(data)`` unless the capture was truncated by a
+    snap length).
+    """
+
+    data: bytes
+    ts_ns: int = 0
+    orig_len: Optional[int] = None
+
+    @property
+    def wire_length(self) -> int:
+        return len(self.data) if self.orig_len is None else self.orig_len
+
+    @property
+    def truncated(self) -> bool:
+        return self.wire_length > len(self.data)
+
+
+@dataclass
+class CaptureFile:
+    """A parsed capture: records plus the metadata replay needs.
+
+    ``fmt`` is ``"pcap"`` or ``"pcapng"``; ``nanosecond`` records whether a
+    pcap container carried nanosecond timestamps (pcapng resolution is
+    per-interface and already folded into ``ts_ns``).
+    """
+
+    linktype: int
+    records: List[CaptureRecord] = field(default_factory=list)
+    fmt: str = "pcap"
+    nanosecond: bool = False
+    snaplen: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(record.data) for record in self.records)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+def _read_exact(handle: BinaryIO, count: int, what: str) -> bytes:
+    data = handle.read(count)
+    if len(data) != count:
+        raise CaptureError(f"truncated capture: short read in {what}")
+    return data
+
+
+def _open(source: PathOrIO, mode: str):
+    """Return ``(handle, needs_close)`` for a path or an already open file."""
+    if hasattr(source, "read") or hasattr(source, "write"):
+        return source, False
+    return open(source, mode), True
+
+
+def read_capture(source: PathOrIO) -> CaptureFile:
+    """Read a pcap or pcapng file, auto-detected from its magic number."""
+    handle, needs_close = _open(source, "rb")
+    try:
+        magic_bytes = _read_exact(handle, 4, "magic number")
+        (magic,) = struct.unpack("<I", magic_bytes)
+        if magic in (PCAP_MAGIC_MICRO, PCAP_MAGIC_NANO):
+            return _read_pcap(handle, "<", magic == PCAP_MAGIC_NANO)
+        (magic_be,) = struct.unpack(">I", magic_bytes)
+        if magic_be in (PCAP_MAGIC_MICRO, PCAP_MAGIC_NANO):
+            return _read_pcap(handle, ">", magic_be == PCAP_MAGIC_NANO)
+        if magic == PCAPNG_BLOCK_SHB:  # block type is endian-independent here
+            return _read_pcapng(handle)
+        raise CaptureError(f"not a pcap or pcapng file (magic 0x{magic:08X})")
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def _read_pcap(handle: BinaryIO, endian: str, nanosecond: bool) -> CaptureFile:
+    version_major, version_minor, _, _, snaplen, linktype = struct.unpack(
+        endian + "HHiIII", _read_exact(handle, 20, "pcap global header")
+    )
+    if version_major != 2:  # pragma: no cover - no other version exists
+        raise CaptureError(f"unsupported pcap version {version_major}.{version_minor}")
+    frac_scale = 1 if nanosecond else 1000
+    capture = CaptureFile(
+        linktype=linktype, fmt="pcap", nanosecond=nanosecond, snaplen=snaplen
+    )
+    while True:
+        header = handle.read(16)
+        if not header:
+            return capture
+        if len(header) != 16:
+            raise CaptureError("truncated capture: short read in pcap record header")
+        ts_sec, ts_frac, incl_len, orig_len = struct.unpack(endian + "IIII", header)
+        data = _read_exact(handle, incl_len, "pcap record data")
+        capture.records.append(
+            CaptureRecord(
+                data=data,
+                ts_ns=ts_sec * 1_000_000_000 + ts_frac * frac_scale,
+                orig_len=orig_len if orig_len != incl_len else None,
+            )
+        )
+
+
+def _parse_options(data: bytes, endian: str) -> List[Tuple[int, bytes]]:
+    """Parse a pcapng option list (already-sliced block tail)."""
+    options: List[Tuple[int, bytes]] = []
+    position = 0
+    while position + 4 <= len(data):
+        code, length = struct.unpack_from(endian + "HH", data, position)
+        position += 4
+        if code == _OPT_ENDOFOPT:
+            break
+        options.append((code, data[position:position + length]))
+        position += (length + 3) & ~3  # options are padded to 32 bits
+    return options
+
+
+def _tsresol_units(option: bytes) -> int:
+    """Timestamp units per second for an ``if_tsresol`` option value.
+
+    Records convert ticks exactly via ``ticks * 1e9 // units`` — no per-unit
+    rounding, so power-of-two and sub-nanosecond resolutions cannot silently
+    inflate timestamps (sub-ns precision is floored away, the best an
+    integer-nanosecond model can do).
+    """
+    if not option:
+        return 1_000_000
+    value = option[0]
+    if value & 0x80:  # power of two resolution
+        return 1 << (value & 0x7F)
+    return 10 ** value
+
+
+def _read_pcapng(handle: BinaryIO) -> CaptureFile:
+    capture: Optional[CaptureFile] = None
+    endian = "<"
+    #: per-interface timestamp units per second (reset at every new section)
+    interfaces: List[int] = []
+    snaplens: List[int] = []
+
+    # the caller consumed the SHB block-type word already; re-enter the loop
+    # with it pre-read
+    pending_type: Optional[int] = PCAPNG_BLOCK_SHB
+
+    while True:
+        if pending_type is None:
+            type_bytes = handle.read(4)
+            if not type_bytes:
+                break
+            if len(type_bytes) != 4:
+                raise CaptureError("truncated capture: short read in pcapng block type")
+            (block_type,) = struct.unpack(endian + "I", type_bytes)
+        else:
+            block_type, pending_type = pending_type, None
+
+        if block_type == PCAPNG_BLOCK_SHB:
+            # byte order magic decides endianness for this whole section
+            length_and_magic = _read_exact(handle, 8, "pcapng section header")
+            (magic,) = struct.unpack("<I", length_and_magic[4:])
+            endian = "<" if magic == PCAPNG_BYTE_ORDER_MAGIC else ">"
+            (magic,) = struct.unpack(endian + "I", length_and_magic[4:])
+            if magic != PCAPNG_BYTE_ORDER_MAGIC:
+                raise CaptureError("pcapng section header has a bad byte-order magic")
+            (total_length,) = struct.unpack(endian + "I", length_and_magic[:4])
+            body = _read_exact(handle, total_length - 12, "pcapng section header")
+            interfaces = []
+            snaplens = []
+            continue
+
+        (total_length,) = struct.unpack(
+            endian + "I", _read_exact(handle, 4, "pcapng block length")
+        )
+        if total_length < 12 or total_length % 4:
+            raise CaptureError(f"bad pcapng block length {total_length}")
+        body = _read_exact(handle, total_length - 8, "pcapng block body")[:-4]
+
+        if block_type == PCAPNG_BLOCK_IDB:
+            if len(body) < 8:
+                raise CaptureError("truncated capture: pcapng interface block body")
+            linktype, _, snaplen = struct.unpack_from(endian + "HHI", body, 0)
+            units = 1_000_000
+            for code, value in _parse_options(body[8:], endian):
+                if code == _OPT_IF_TSRESOL:
+                    units = _tsresol_units(value)
+            interfaces.append(units)
+            snaplens.append(snaplen)
+            if capture is None:
+                capture = CaptureFile(linktype=linktype, fmt="pcapng", snaplen=snaplen)
+            elif linktype != capture.linktype:
+                raise CaptureError(
+                    "pcapng captures mixing link types are not supported "
+                    f"({capture.linktype} then {linktype})"
+                )
+        elif block_type == PCAPNG_BLOCK_EPB:
+            if capture is None or not interfaces:
+                raise CaptureError("pcapng packet block before interface description")
+            if len(body) < 20:
+                raise CaptureError("truncated capture: pcapng packet block body")
+            interface_id, ts_high, ts_low, captured, orig_len = struct.unpack_from(
+                endian + "IIIII", body, 0
+            )
+            if interface_id >= len(interfaces):
+                raise CaptureError(f"pcapng packet references unknown interface {interface_id}")
+            data = body[20:20 + captured]
+            if len(data) != captured:
+                raise CaptureError("truncated capture: pcapng packet data")
+            ticks = (ts_high << 32) | ts_low
+            capture.records.append(
+                CaptureRecord(
+                    data=data,
+                    ts_ns=ticks * 1_000_000_000 // interfaces[interface_id],
+                    orig_len=orig_len if orig_len != captured else None,
+                )
+            )
+        elif block_type == PCAPNG_BLOCK_SPB:
+            if capture is None or not interfaces:
+                raise CaptureError("pcapng packet block before interface description")
+            if len(body) < 4:
+                raise CaptureError("truncated capture: pcapng packet block body")
+            (orig_len,) = struct.unpack_from(endian + "I", body, 0)
+            snaplen = snaplens[0]
+            captured = min(orig_len, snaplen) if snaplen else orig_len
+            data = body[4:4 + captured]
+            if len(data) != captured:
+                raise CaptureError("truncated capture: pcapng packet data")
+            capture.records.append(
+                CaptureRecord(
+                    data=data,
+                    orig_len=orig_len if orig_len != captured else None,
+                )
+            )
+        # any other block type (name resolution, statistics, custom) is
+        # skipped: the spec requires readers to ignore what they don't know
+
+    if capture is None:
+        raise CaptureError("pcapng file contains no interface description block")
+    return capture
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def write_pcap(
+    destination: PathOrIO,
+    records: Iterable[CaptureRecord],
+    linktype: int = LINKTYPE_ETHERNET,
+    nanosecond: bool = False,
+    snaplen: int = 262_144,
+) -> int:
+    """Write classic pcap; returns the number of records written."""
+    handle, needs_close = _open(destination, "wb")
+    frac_scale = 1 if nanosecond else 1000
+    magic = PCAP_MAGIC_NANO if nanosecond else PCAP_MAGIC_MICRO
+    try:
+        handle.write(struct.pack("<IHHiIII", magic, 2, 4, 0, 0, snaplen, linktype))
+        count = 0
+        for record in records:
+            ts_sec, ts_frac = divmod(record.ts_ns, 1_000_000_000)
+            handle.write(
+                struct.pack(
+                    "<IIII",
+                    ts_sec,
+                    ts_frac // frac_scale,
+                    len(record.data),
+                    record.wire_length,
+                )
+            )
+            handle.write(record.data)
+            count += 1
+        return count
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def _pad32(data: bytes) -> bytes:
+    return data + b"\x00" * (-len(data) % 4)
+
+
+def _pcapng_block(block_type: int, body: bytes) -> bytes:
+    body = _pad32(body)
+    total = len(body) + 12
+    return struct.pack("<II", block_type, total) + body + struct.pack("<I", total)
+
+
+def write_pcapng(
+    destination: PathOrIO,
+    records: Iterable[CaptureRecord],
+    linktype: int = LINKTYPE_ETHERNET,
+    snaplen: int = 0,
+) -> int:
+    """Write pcapng (one section, one interface, Enhanced Packet Blocks).
+
+    The interface advertises nanosecond resolution (``if_tsresol`` = 9), so
+    ``CaptureRecord.ts_ns`` round-trips exactly.  Returns the record count.
+    """
+    handle, needs_close = _open(destination, "wb")
+    try:
+        handle.write(
+            _pcapng_block(
+                PCAPNG_BLOCK_SHB,
+                struct.pack("<IHHq", PCAPNG_BYTE_ORDER_MAGIC, 1, 0, -1),
+            )
+        )
+        tsresol_option = struct.pack("<HH", _OPT_IF_TSRESOL, 1) + _pad32(b"\x09")
+        end_option = struct.pack("<HH", _OPT_ENDOFOPT, 0)
+        handle.write(
+            _pcapng_block(
+                PCAPNG_BLOCK_IDB,
+                struct.pack("<HHI", linktype, 0, snaplen) + tsresol_option + end_option,
+            )
+        )
+        count = 0
+        for record in records:
+            body = struct.pack(
+                "<IIIII",
+                0,  # interface id
+                record.ts_ns >> 32,
+                record.ts_ns & 0xFFFFFFFF,
+                len(record.data),
+                record.wire_length,
+            ) + _pad32(record.data)
+            handle.write(_pcapng_block(PCAPNG_BLOCK_EPB, body))
+            count += 1
+        return count
+    finally:
+        if needs_close:
+            handle.close()

@@ -1,0 +1,155 @@
+"""Replay adapters: captures in and out of every scan layer.
+
+The contract this module makes testable: a capture written by
+:func:`write_packets`, read back and replayed through any scan front-end —
+:class:`repro.streaming.StreamScanner`, the serial
+:class:`repro.streaming.ScanService`, the process-parallel
+:class:`repro.streaming.ParallelScanService` or the stateful
+:class:`repro.ids.IntrusionDetectionSystem` pipeline — produces events and
+alerts **byte-identical** to scanning the same segments in memory.  Capture
+order is flow-segment order (packet ids are assigned sequentially from
+``first_packet_id``), which is exactly the arrival-order guarantee the
+sharded services already rely on.
+
+Real-world captures contain frames the DPI layers cannot scan (ARP, ICMP,
+fragments); :func:`load_packets` skips and counts them per reason in
+:class:`ReplayStats` unless ``strict`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..traffic.packet import Packet
+from .frames import FrameEncodeError, decode_frame, encode_frame
+from .pcap import (
+    LINKTYPE_ETHERNET,
+    CaptureError,
+    CaptureFile,
+    CaptureRecord,
+    PathOrIO,
+    read_capture,
+    write_pcap,
+    write_pcapng,
+)
+
+CaptureSource = Union[PathOrIO, CaptureFile]
+
+
+@dataclass
+class ReplayStats:
+    """What a capture decoded into: frames kept vs skipped, by reason."""
+
+    frames: int = 0
+    decoded: int = 0
+    payload_bytes: int = 0
+    skipped: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def skipped_total(self) -> int:
+        return sum(self.skipped.values())
+
+
+def _as_capture(source: CaptureSource) -> CaptureFile:
+    return source if isinstance(source, CaptureFile) else read_capture(source)
+
+
+def load_packets(
+    source: CaptureSource,
+    first_packet_id: int = 0,
+    strict: bool = False,
+) -> Tuple[List[Packet], ReplayStats]:
+    """Decode a capture into scan-ready :class:`Packet` objects.
+
+    Packet ids are assigned sequentially in capture order starting at
+    ``first_packet_id``; undecodable frames are skipped and counted (or, with
+    ``strict``, raise :class:`repro.capture.CaptureError`).
+    """
+    capture = _as_capture(source)
+    stats = ReplayStats()
+    packets: List[Packet] = []
+    next_id = first_packet_id
+    for record in capture.records:
+        stats.frames += 1
+        frame, reason = decode_frame(record.data, capture.linktype)
+        if frame is None:
+            if strict:
+                raise CaptureError(
+                    f"frame {stats.frames - 1} cannot be decoded ({reason})"
+                )
+            stats.skipped[reason] = stats.skipped.get(reason, 0) + 1
+            continue
+        packets.append(
+            Packet(payload=frame.payload, header=frame.header, packet_id=next_id)
+        )
+        next_id += 1
+        stats.decoded += 1
+        stats.payload_bytes += len(frame.payload)
+    return packets, stats
+
+
+def write_packets(
+    destination: PathOrIO,
+    packets: Sequence[Packet],
+    linktype: int = LINKTYPE_ETHERNET,
+    fmt: str = "pcap",
+    nanosecond: bool = False,
+    base_ts_ns: int = 0,
+    step_ns: int = 1_000_000,
+) -> int:
+    """Encode ``packets`` as frames and write a capture file.
+
+    Packets are written in sequence order (flow-segment order is preserved,
+    so a replay scans segments exactly as the in-memory service would) with
+    deterministic, evenly spaced timestamps.  ``fmt`` is ``"pcap"`` or
+    ``"pcapng"``.  Every packet needs a 5-tuple header; returns the number of
+    frames written.
+    """
+    records: List[CaptureRecord] = []
+    for index, packet in enumerate(packets):
+        if packet.header is None:
+            raise FrameEncodeError(
+                f"packet {packet.packet_id} has no 5-tuple header; "
+                "captures carry only on-the-wire fields"
+            )
+        records.append(
+            CaptureRecord(
+                data=encode_frame(packet.header, packet.payload, linktype),
+                ts_ns=base_ts_ns + index * step_ns,
+            )
+        )
+    if fmt == "pcap":
+        return write_pcap(destination, records, linktype, nanosecond=nanosecond)
+    if fmt == "pcapng":
+        return write_pcapng(destination, records, linktype)
+    raise ValueError(f"unknown capture format {fmt!r} (use 'pcap' or 'pcapng')")
+
+
+# ----------------------------------------------------------------------
+# scan-layer front-ends
+# ----------------------------------------------------------------------
+# These are one-call conveniences that trade away the decode statistics;
+# call load_packets() directly (as the CLI does) when you need to report
+# how many frames were skipped and why alongside the scan result.
+def replay_stream(source: CaptureSource, scanner, strict: bool = False):
+    """Replay a capture through a :class:`StreamScanner`; returns its matches."""
+    packets, _ = load_packets(source, strict=strict)
+    return scanner.scan_packets(packets)
+
+
+def replay_scan(source: CaptureSource, service, strict: bool = False):
+    """Replay a capture through a (serial or parallel) scan service.
+
+    ``service`` is any :class:`repro.streaming.service.ShardedScanServiceBase`
+    front-end; the returned :class:`StreamScanResult` is byte-identical to
+    ``service.scan(packets)`` on the same in-memory segments.
+    """
+    packets, _ = load_packets(source, strict=strict)
+    return service.scan(packets)
+
+
+def replay_ids(source: CaptureSource, ids, strict: bool = False):
+    """Replay a capture through the stateful IDS pipeline; returns the alerts."""
+    packets, _ = load_packets(source, strict=strict)
+    return ids.scan_flow(packets)

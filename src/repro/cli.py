@@ -8,11 +8,14 @@ figure can be regenerated from a shell:
 * ``scan``             — scan synthetic traffic (cycle-level hardware model for
   the ``dtp`` backend, functional scan for every other backend);
 * ``scan-stream``      — stateful flow scanning: patterns split across packets;
-* ``ids``              — the end-to-end mini IDS over streamed flows;
+* ``scan-pcap``        — replay a pcap/pcapng capture through the scan service;
+* ``ids``              — the end-to-end mini IDS over streamed flows (takes
+  ``--pcap`` to run on a capture instead of synthetic flows);
 * ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
 * ``fig6`` / ``fig7`` / ``fig8``       — regenerate the paper's figures as text.
 
-The ``scan``, ``scan-stream`` and ``ids`` subcommands take ``--backend`` with
+The ``scan``, ``scan-stream``, ``scan-pcap`` and ``ids`` subcommands take
+``--backend`` with
 any name from :mod:`repro.backend` (``dtp``, ``dense``, ``bitmap``, ``path``,
 ``wu-manber``, ``ac``); every backend is driven through the same
 :class:`repro.backend.CompiledProgram` protocol, so the reported match sets
@@ -39,12 +42,14 @@ from .analysis.metrics import (
 )
 from .analysis.tables import ascii_chart, format_histogram, format_table
 from .backend import backend_names, get_backend
+from .capture import load_packets, read_capture
 from .core.accelerator_config import compile_ruleset
 from .fpga.devices import CYCLONE_III, DEVICES, STRATIX_III, get_device
 from .hardware.accelerator import HardwareAccelerator
 from .ids.classifier import HeaderPattern
 from .ids.pipeline import IDSRule, IntrusionDetectionSystem
 from .rulesets.generator import generate_paper_rulesets, generate_snort_like_ruleset
+from .rulesets.parser import parse_rules, ruleset_from_specs
 from .rulesets.reducer import reduce_to_character_count
 from .streaming.executor import ParallelScanService
 from .streaming.scanner import StreamScanner
@@ -86,8 +91,10 @@ def _cmd_generate_ruleset(args: argparse.Namespace) -> int:
         f"{ruleset.total_characters} characters"
     ]
     for rule in ruleset:
+        # backslash joins | and " in the hex-escaped set: the parser decodes
+        # \x to the bare x, so a literal backslash must not be emitted raw
         rendered = "".join(
-            chr(b) if 0x20 <= b < 0x7F and chr(b) not in '|"' else f"|{b:02X}|"
+            chr(b) if 0x20 <= b < 0x7F and chr(b) not in '|"\\' else f"|{b:02X}|"
             for b in rule.pattern
         )
         lines.append(f'sid:{rule.sid}; content:"{rendered}"')
@@ -154,21 +161,52 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scan_stream(args: argparse.Namespace) -> int:
-    device = get_device(args.device)
-    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
-    program = _build_program(ruleset, device, args.backend)
+def _make_service(program, args: argparse.Namespace):
+    """Serial or process-parallel scan service, per ``--workers``."""
     if args.workers is not None:  # 0 is invalid, not "serial" — let it raise
-        service = ParallelScanService(
+        return ParallelScanService(
             program,
             num_shards=args.shards,
             flow_capacity_per_shard=args.flow_capacity,
             workers=args.workers,
         )
-    else:
-        service = ScanService(
-            program, num_shards=args.shards, flow_capacity_per_shard=args.flow_capacity
+    return ScanService(
+        program, num_shards=args.shards, flow_capacity_per_shard=args.flow_capacity
+    )
+
+
+def _print_event_report(events, sid_of) -> None:
+    """The backend-independent per-event report shared by the scan commands."""
+    print("match report:")
+    for event in events:
+        print(
+            f"  packet={event.packet_id} offset={event.end_offset} "
+            f"sid={sid_of[event.string_number]}"
         )
+
+
+def _print_scan_summary(service, result, show_workers: bool, extra_lines=()) -> None:
+    """The service-state summary shared by ``scan-stream`` and ``scan-pcap``.
+
+    ``extra_lines`` are printed between the match counters and the flow-table
+    gauges (scan-stream's split-pattern ground truth goes there).
+    """
+    if show_workers:
+        print(f"worker processes          : {service.num_workers}")
+    print(f"match events              : {len(result.events)}")
+    print(f"cross-segment matches     : {service.cross_segment_matches}")
+    for line in extra_lines:
+        print(line)
+    print(f"active flows              : {service.active_flows}")
+    print(f"evicted flows             : {service.evicted_flows}")
+    print(f"shard occupancy           : {service.shard_occupancy()}")
+
+
+def _cmd_scan_stream(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
+    program = _build_program(ruleset, device, args.backend)
+    service = _make_service(program, args)
     generator = TrafficGenerator(ruleset, seed=args.seed + 1)
     flows = generator.flows(
         args.flows,
@@ -178,6 +216,11 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
         segment_bytes=args.segment_bytes,
     )
     packets = TrafficGenerator.interleave(flows)
+    if args.export_pcap:
+        # container follows the extension so the file's magic matches its name
+        fmt = "pcapng" if str(args.export_pcap).endswith(".pcapng") else "pcap"
+        written = TrafficGenerator.export_pcap(args.export_pcap, packets, fmt=fmt)
+        print(f"wrote {written} frames to {args.export_pcap}")
     with service:
         result = service.scan(packets)
 
@@ -204,61 +247,144 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
             f"scanned {result.packets} packets / {len(flows)} flows "
             f"({result.bytes_scanned} bytes) on {service.num_shards} shard(s)"
         )
-        if args.workers is not None:
-            print(f"worker processes          : {service.num_workers}")
-        print(f"match events              : {len(result.events)}")
-        print(f"cross-segment matches     : {service.cross_segment_matches}")
-        print(f"split patterns detected   : {found_split}/{len(flows)} (streaming)")
-        print(f"split patterns detected   : {stateless_split}/{len(flows)} (per-packet scan)")
-        print(f"active flows              : {service.active_flows}")
-        print(f"evicted flows             : {service.evicted_flows}")
-        print(f"shard occupancy           : {service.shard_occupancy()}")
+        _print_scan_summary(
+            service,
+            result,
+            show_workers=args.workers is not None,
+            extra_lines=(
+                f"split patterns detected   : {found_split}/{len(flows)} (streaming)",
+                f"split patterns detected   : {stateless_split}/{len(flows)} (per-packet scan)",
+            ),
+        )
     if args.print_events:
         # the match report proper: identical for every backend on the same
         # workload (the equivalence the backend protocol guarantees)
-        print("match report:")
-        for event in result.events:
-            print(
-                f"  packet={event.packet_id} offset={event.end_offset} "
-                f"sid={sid_of[event.string_number]}"
-            )
+        _print_event_report(result.events, sid_of)
+    return 0
+
+
+def _load_rule_specs(path: str):
+    """Parse a Snort rules file, or ``None`` if it has nothing to match on."""
+    with open(path, encoding="utf-8") as handle:
+        specs = parse_rules(handle)
+    if not any(spec.contents for spec in specs):
+        print(f"no content patterns found in {path}", file=sys.stderr)
+        return None
+    return specs
+
+
+def _cmd_scan_pcap(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    sid_remap: Dict[int, int] = {}
+    if args.rules:
+        specs = _load_rule_specs(args.rules)
+        if specs is None:
+            return 1
+        ruleset = ruleset_from_specs(specs, name=args.rules, sid_remap=sid_remap)
+    else:
+        ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
+    program = _build_program(ruleset, device, args.backend)
+
+    capture = read_capture(args.pcap)
+    packets, stats = load_packets(capture, strict=args.strict)
+    flow_count = len({StreamScanner.flow_key(packet) for packet in packets})
+
+    with _make_service(program, args) as service:
+        result = service.scan(packets)
+        print(f"backend                   : {args.backend}")
+        print(
+            f"capture                   : {args.pcap} "
+            f"({capture.fmt}, linktype {capture.linktype}, {stats.frames} frames)"
+        )
+        print(
+            f"decoded {stats.decoded} packets / {flow_count} flows "
+            f"({stats.payload_bytes} payload bytes)"
+        )
+        skipped = ", ".join(
+            f"{reason}={count}" for reason, count in sorted(stats.skipped.items())
+        )
+        print(f"skipped frames            : {stats.skipped_total}"
+              + (f" ({skipped})" if skipped else ""))
+        # remaps cover genuine collisions and the extra contents of
+        # multi-content rules — both are sids that differ from the rule file
+        print(f"rules loaded              : {len(ruleset)}"
+              + (f" ({len(sid_remap)} reassigned sids)" if sid_remap else ""))
+        _print_scan_summary(service, result, show_workers=args.workers is not None)
+    if args.print_events:
+        sid_of = {index: rule.sid for index, rule in enumerate(ruleset)}
+        _print_event_report(result.events, sid_of)
     return 0
 
 
 def _cmd_ids(args: argparse.Namespace) -> int:
     device = get_device(args.device)
-    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
-    # one single-content IDS rule per generated string; the wildcard header
-    # keeps every packet a candidate so detection is decided by the matcher
-    rules = [
-        IDSRule(sid=rule.sid, header=HeaderPattern(), contents=(rule.pattern,))
-        for rule in ruleset
-    ]
-    ids = IntrusionDetectionSystem(
-        rules, device=device, backend=args.backend, workers=args.workers
-    )
+    sid_remap: Dict[int, int] = {}
+    if args.rules:
+        # real rules only make sense against real traffic: the synthetic
+        # flow generator injects patterns from the synthetic ruleset
+        if not args.pcap:
+            print("--rules requires --pcap (a capture to match against)",
+                  file=sys.stderr)
+            return 1
+        specs = _load_rule_specs(args.rules)
+        if specs is None:
+            return 1
+        ruleset = None
+        ids = IntrusionDetectionSystem.from_specs(
+            specs,
+            device=device,
+            backend=args.backend,
+            workers=args.workers,
+            sid_remap=sid_remap,
+        )
+    else:
+        ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
+        # one single-content IDS rule per generated string; the wildcard header
+        # keeps every packet a candidate so detection is decided by the matcher
+        rules = [
+            IDSRule(sid=rule.sid, header=HeaderPattern(), contents=(rule.pattern,))
+            for rule in ruleset
+        ]
+        ids = IntrusionDetectionSystem(
+            rules, device=device, backend=args.backend, workers=args.workers
+        )
 
-    generator = TrafficGenerator(ruleset, seed=args.seed + 1)
-    flows = generator.flows(
-        args.flows, num_packets=args.packets_per_flow, split_patterns=1
-    )
-    packets = TrafficGenerator.interleave(flows)
+    if args.pcap:
+        # replay a capture through the stateful pipeline instead of
+        # generating flows (no injection ground truth on the wire)
+        packets, stats = load_packets(args.pcap, strict=args.strict)
+        flows = None
+        flow_count = len({StreamScanner.flow_key(packet) for packet in packets})
+    else:
+        generator = TrafficGenerator(ruleset, seed=args.seed + 1)
+        flows = generator.flows(
+            args.flows, num_packets=args.packets_per_flow, split_patterns=1
+        )
+        packets = TrafficGenerator.interleave(flows)
+        flow_count = len(flows)
     with ids:
         alerts = ids.scan_flow(packets)
 
-    alerted_sids = {alert.sid for alert in alerts}
-    split_detected = sum(
-        1 for flow in flows for sid in flow.split_sids if sid in alerted_sids
-    )
-    split_total = sum(len(flow.split_sids) for flow in flows)
     print(f"backend              : {args.backend}")
+    if args.pcap:
+        print(
+            f"capture              : {args.pcap} "
+            f"({stats.frames} frames, {stats.skipped_total} skipped)"
+        )
     print(
-        f"processed {ids.stats.packets_processed} packets / {len(flows)} flows "
+        f"processed {ids.stats.packets_processed} packets / {flow_count} flows "
         f"({ids.stats.payload_bytes} payload bytes)"
     )
-    print(f"rules loaded         : {len(ids.rules)}")
+    print(f"rules loaded         : {len(ids.rules)}"
+          + (f" ({len(sid_remap)} reassigned sids)" if sid_remap else ""))
     print(f"alerts raised        : {len(alerts)}")
-    print(f"split-pattern alerts : {split_detected}/{split_total}")
+    if flows is not None:
+        alerted_sids = {alert.sid for alert in alerts}
+        split_detected = sum(
+            1 for flow in flows for sid in flow.split_sids if sid in alerted_sids
+        )
+        split_total = sum(len(flow.split_sids) for flow in flows)
+        print(f"split-pattern alerts : {split_detected}/{split_total}")
     if args.print_alerts:
         print("alert report:")
         for alert in alerts:
@@ -392,7 +518,34 @@ def build_parser() -> argparse.ArgumentParser:
                              help="LRU flow-table capacity per shard")
     scan_stream.add_argument("--print-events", action="store_true",
                              help="print every match event (backend-independent report)")
+    scan_stream.add_argument("--export-pcap", metavar="PATH",
+                             help="also write the generated workload as a capture "
+                                  "(pcapng when PATH ends in .pcapng, else pcap; "
+                                  "replayable with scan-pcap)")
     scan_stream.set_defaults(handler=_cmd_scan_stream)
+
+    scan_pcap = subparsers.add_parser(
+        "scan-pcap", help="replay a pcap/pcapng capture through the scan service"
+    )
+    scan_pcap.add_argument("pcap", help="capture file (pcap or pcapng, auto-detected)")
+    scan_pcap.add_argument("--rules", metavar="FILE",
+                           help="Snort rules file to match against (default: "
+                                "the synthetic --size/--seed ruleset)")
+    _add_ruleset_arguments(scan_pcap)
+    _add_backend_argument(scan_pcap)
+    scan_pcap.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
+    scan_pcap.add_argument("--shards", type=int, default=4, help="scan engine pool size")
+    scan_pcap.add_argument("--workers", type=int, default=None,
+                           help="scan shards on this many worker processes "
+                                "(default: serial in-process scan)")
+    scan_pcap.add_argument("--flow-capacity", type=int, default=4096,
+                           help="LRU flow-table capacity per shard")
+    scan_pcap.add_argument("--strict", action="store_true",
+                           help="fail on frames that cannot be decoded "
+                                "(default: skip and count them)")
+    scan_pcap.add_argument("--print-events", action="store_true",
+                           help="print every match event (backend-independent report)")
+    scan_pcap.set_defaults(handler=_cmd_scan_pcap)
 
     ids = subparsers.add_parser(
         "ids", help="run the mini IDS pipeline over streamed flows"
@@ -405,6 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
     ids.add_argument("--packets-per-flow", type=int, default=3)
     ids.add_argument("--workers", type=int, default=None,
                      help="run content scanning on this many worker processes")
+    ids.add_argument("--pcap", metavar="PATH",
+                     help="replay this capture instead of generating flows")
+    ids.add_argument("--rules", metavar="FILE",
+                     help="build the IDS from this Snort rules file instead of "
+                          "the synthetic ruleset (requires --pcap)")
+    ids.add_argument("--strict", action="store_true",
+                     help="with --pcap: fail on frames that cannot be decoded "
+                          "(default: skip and count them)")
     ids.add_argument("--print-alerts", action="store_true",
                      help="print every alert (backend-independent report)")
     ids.set_defaults(handler=_cmd_ids)

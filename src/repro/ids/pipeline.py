@@ -21,7 +21,7 @@ from ..backend import CompiledProgram, get_backend
 from ..core.accelerator_config import compile_ruleset
 from ..fpga.devices import FPGADevice, STRATIX_III
 from ..hardware.accelerator import HardwareAccelerator
-from ..rulesets.parser import SnortRuleSpec
+from ..rulesets.parser import SidAllocator, SnortRuleSpec
 from ..rulesets.ruleset import PatternRule, RuleSet
 from ..streaming.executor import ParallelScanService
 from ..streaming.flow import DEFAULT_FLOW_CAPACITY, FlowEntry, FlowKey
@@ -171,15 +171,25 @@ class IntrusionDetectionSystem:
         use_hardware_model: bool = False,
         backend: str = "dtp",
         workers: Optional[int] = None,
+        sid_remap: Optional[Dict[int, int]] = None,
     ) -> "IntrusionDetectionSystem":
-        """Build an IDS from parsed Snort rules."""
+        """Build an IDS from parsed Snort rules.
+
+        Sid assignment is the shared :class:`repro.rulesets.parser.SidAllocator`
+        policy: the first rule claiming a sid keeps it, later claimants (and
+        sid-less rules) get the lowest free sid no spec claims explicitly —
+        a rules file with colliding or missing sids loads instead of tripping
+        the duplicate-sid constructor check, and reassignments are recorded
+        in ``sid_remap`` (when given) exactly as :func:`ruleset_from_specs`
+        records them.
+        """
+        specs = list(specs)
+        allocator = SidAllocator(specs, sid_remap)
         rules: List[IDSRule] = []
-        next_sid = 1
         for spec in specs:
             if not spec.contents:
                 continue
-            sid = spec.sid if spec.sid is not None else next_sid
-            next_sid = max(next_sid, sid) + 1
+            sid = allocator.assign(spec.sid)
             rules.append(
                 IDSRule(
                     sid=sid,

@@ -1,9 +1,11 @@
-"""Parser for Snort-style rules.
+r"""Parser for Snort-style rules.
 
 Only the subset needed to drive the string matching accelerator is parsed:
 
 * the rule header — ``action protocol src_ip src_port direction dst_ip dst_port``;
-* ``content:"..."`` options, including Snort's ``|41 42 43|`` hex escapes;
+* ``content:"..."`` options, including Snort's ``|41 42 43|`` hex escapes and
+  the backslash escapes (``\;`` ``\"`` ``\\``) that decode to the bare
+  character (the escape is never part of the pattern bytes);
 * ``msg`` and ``sid`` options;
 * the ``nocase`` modifier (recorded; case folding is applied on request).
 
@@ -16,7 +18,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .ruleset import PatternRule, RuleSet
 
@@ -67,35 +69,92 @@ class SnortRuleSpec:
         return [c.effective_pattern() for c in self.contents]
 
 
+#: ``<-`` is matched so it can be rejected with a precise error message:
+#: Snort defines only ``->`` and ``<>``.
 _HEADER_RE = re.compile(
     r"^\s*(?P<action>\w+)\s+(?P<protocol>\w+)\s+(?P<src_ip>\S+)\s+(?P<src_port>\S+)\s+"
     r"(?P<direction>->|<>|<-)\s+(?P<dst_ip>\S+)\s+(?P<dst_port>\S+)\s*$"
 )
 
-_HEX_BLOCK_RE = re.compile(r"\|([0-9A-Fa-f\s]*)\|")
+_VALID_DIRECTIONS = ("->", "<>")
 
 
 def decode_content_pattern(text: str) -> bytes:
-    """Decode a Snort content string with ``|hex|`` escapes into bytes.
+    r"""Decode a Snort content string with ``|hex|`` and ``\`` escapes into bytes.
+
+    Snort requires ``;``, ``"`` and ``\`` to be backslash-escaped inside a
+    content string; the escape character is *not* part of the pattern, so the
+    escaped character decodes to its bare self.  Any other escape is an error
+    (as in Snort itself) — silently guessing would load a corrupted pattern
+    into every matcher:
 
     >>> decode_content_pattern('abc|0D 0A|def')
-    b'abc\\r\\ndef'
+    b'abc\r\ndef'
+    >>> decode_content_pattern(r'a\;b')
+    b'a;b'
+    >>> decode_content_pattern(r'a\"b')
+    b'a"b'
+    >>> decode_content_pattern(r'a\\b')
+    b'a\\b'
+    >>> decode_content_pattern('|5C|')
+    b'\\'
+    >>> decode_content_pattern(r'C:\temp')
+    Traceback (most recent call last):
+        ...
+    repro.rulesets.parser.RuleParseError: undefined escape '\t' in content: 'C:\\temp'
     """
     out = bytearray()
     position = 0
-    for match in _HEX_BLOCK_RE.finditer(text):
-        literal = text[position:match.start()]
-        out += literal.encode("latin-1")
-        hex_body = match.group(1).replace(" ", "").replace("\t", "")
-        if len(hex_body) % 2 != 0:
-            raise RuleParseError(f"odd-length hex block in content: {match.group(0)!r}")
-        for i in range(0, len(hex_body), 2):
-            out.append(int(hex_body[i:i + 2], 16))
-        position = match.end()
-    out += text[position:].encode("latin-1")
+    while position < len(text):
+        char = text[position]
+        if char == "\\":
+            if position + 1 >= len(text):
+                raise RuleParseError(f"dangling escape at end of content: {text!r}")
+            escaped = text[position + 1]
+            if escaped not in ';"\\':
+                raise RuleParseError(
+                    f"undefined escape '\\{escaped}' in content: {text!r}"
+                )
+            out += escaped.encode("latin-1")
+            position += 2
+        elif char == "|":
+            end = text.find("|", position + 1)
+            if end < 0:
+                raise RuleParseError(f"unterminated hex block in content: {text!r}")
+            hex_body = re.sub(r"\s", "", text[position + 1:end])
+            if len(hex_body) % 2 != 0 or not re.fullmatch(r"[0-9A-Fa-f]*", hex_body):
+                raise RuleParseError(
+                    f"bad hex block in content: {text[position:end + 1]!r}"
+                )
+            for i in range(0, len(hex_body), 2):
+                out.append(int(hex_body[i:i + 2], 16))
+            position = end + 1
+        else:
+            try:
+                out += char.encode("latin-1")
+            except UnicodeEncodeError as exc:
+                raise RuleParseError(
+                    f"non-latin-1 character {char!r} in content: {text!r} "
+                    f"(use a |hex| escape for raw bytes)"
+                ) from exc
+            position += 1
     if not out:
         raise RuleParseError("empty content pattern")
     return bytes(out)
+
+
+def _unescape_text(text: str) -> str:
+    r"""Strip Snort option-value escapes (``\;`` ``\"`` ``\\``) from ``text``.
+
+    Unlike content patterns, undefined escapes here are preserved verbatim:
+    a stray backslash in a ``msg`` is cosmetic, not a corrupted matcher load.
+
+    >>> _unescape_text(r'a\;b \"quoted\"')
+    'a;b "quoted"'
+    >>> _unescape_text(r'see C:\temp')
+    'see C:\\temp'
+    """
+    return re.sub(r'\\([;"\\])', r"\1", text)
 
 
 def _split_options(body: str) -> List[Tuple[str, Optional[str]]]:
@@ -158,6 +217,11 @@ def parse_rule(line: str) -> SnortRuleSpec:
     match = _HEADER_RE.match(header_text)
     if match is None:
         raise RuleParseError(f"cannot parse rule header: {header_text!r}")
+    if match.group("direction") not in _VALID_DIRECTIONS:
+        raise RuleParseError(
+            f"invalid rule direction {match.group('direction')!r}: "
+            f"Snort defines only '->' and '<>'"
+        )
     header = RuleHeader(**match.groupdict())
 
     spec = SnortRuleSpec(header=header)
@@ -174,7 +238,7 @@ def parse_rule(line: str) -> SnortRuleSpec:
                 raise RuleParseError("nocase modifier before any content option")
             spec.contents[-1].nocase = True
         elif key_lower == "msg":
-            spec.msg = _strip_quotes(value or "")
+            spec.msg = _unescape_text(_strip_quotes(value or ""))
         elif key_lower == "sid":
             try:
                 spec.sid = int(value or "")
@@ -186,34 +250,100 @@ def parse_rule(line: str) -> SnortRuleSpec:
 
 
 def parse_rules(lines: Iterable[str]) -> List[SnortRuleSpec]:
-    """Parse many rule lines, silently skipping blanks and comments."""
+    """Parse many rule lines, silently skipping blanks and comments.
+
+    Parse errors carry the 1-based line number, so a reject deep inside a
+    large rules file points at the rule to fix.
+    """
     specs: List[SnortRuleSpec] = []
-    for line in lines:
+    for number, line in enumerate(lines, start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        specs.append(parse_rule(stripped))
+        try:
+            specs.append(parse_rule(stripped))
+        except RuleParseError as exc:
+            raise RuleParseError(f"line {number}: {exc}") from exc
     return specs
 
 
+class SidAllocator:
+    """Deterministic sid assignment shared by every specs-ingesting builder.
+
+    The invariant both :func:`ruleset_from_specs` and
+    :meth:`repro.ids.IntrusionDetectionSystem.from_specs` need: the *first*
+    claimant of an explicit sid keeps it, and every other assignment (later
+    collisions, sid-less rules, the extra contents of multi-content rules)
+    gets the lowest free sid that **no** spec claims explicitly — so
+    auto-assignment can never steal a sid some rule in the file asked for.
+    Reassignments of explicitly requested sids are recorded in ``sid_remap``
+    (when given) as ``assigned_sid -> requested_sid``.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SnortRuleSpec],
+        sid_remap: Optional[Dict[int, int]] = None,
+    ):
+        #: built from the *unfiltered* spec list: even a content-less rule's
+        #: explicit sid stays off-limits to auto-assignment
+        self.reserved = {spec.sid for spec in specs if spec.sid is not None}
+        self.used: set = set()
+        self.sid_remap = sid_remap
+        self._next_auto = 1
+
+    def assign(self, requested: Optional[int]) -> int:
+        if requested is not None and requested not in self.used:
+            sid = requested
+        else:
+            while self._next_auto in self.used or self._next_auto in self.reserved:
+                self._next_auto += 1
+            sid = self._next_auto
+            if requested is not None and self.sid_remap is not None:
+                self.sid_remap[sid] = requested
+        self.used.add(sid)
+        return sid
+
+
 def ruleset_from_specs(
-    specs: Iterable[SnortRuleSpec], name: str = "snort", dedupe: bool = True
+    specs: Iterable[SnortRuleSpec],
+    name: str = "snort",
+    dedupe: bool = True,
+    sid_remap: Optional[Dict[int, int]] = None,
 ) -> RuleSet:
     """Collect the unique fixed strings of parsed rules into a :class:`RuleSet`.
 
     The paper searches for *unique strings*; when ``dedupe`` is set, a pattern
     appearing in several rules is stored once (first sid wins).
+
+    Sid assignment is deterministic and never silently rewrites an explicit
+    sid that is still free: the *first* rule claiming a sid keeps it, and any
+    later rule colliding with it (or the extra contents of a multi-content
+    rule, which each need their own sid) gets the lowest free sid that no
+    spec claims explicitly.  Pass a dict as ``sid_remap`` to record every
+    such reassignment as ``assigned_sid -> requested_sid``, so alerts can be
+    traced back to the rule file they came from:
+
+    >>> specs = parse_rules([
+    ...     'alert tcp any any -> any 80 (content:"first"; sid:7;)',
+    ...     'alert tcp any any -> any 80 (content:"second"; sid:7;)',
+    ... ])
+    >>> remap = {}
+    >>> ruleset = ruleset_from_specs(specs, sid_remap=remap)
+    >>> ruleset.sids, remap
+    ([7, 1], {1: 7})
     """
+    specs = list(specs)
+    allocator = SidAllocator(specs, sid_remap)
     ruleset = RuleSet(name=name)
-    next_sid = 1
     for spec in specs:
         for content in spec.contents:
             pattern = content.effective_pattern()
             if dedupe and pattern in ruleset:
                 continue
-            sid = spec.sid if spec.sid is not None and spec.sid not in ruleset.sids else next_sid
-            while sid in ruleset.sids:
-                sid += 1
-            ruleset.add(PatternRule(pattern=pattern, sid=sid, msg=spec.msg))
-            next_sid = max(next_sid, sid) + 1
+            ruleset.add(
+                PatternRule(
+                    pattern=pattern, sid=allocator.assign(spec.sid), msg=spec.msg
+                )
+            )
     return ruleset

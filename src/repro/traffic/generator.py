@@ -283,6 +283,33 @@ class TrafficGenerator:
         return [self.flow(**kwargs) for _ in range(count)]
 
     @staticmethod
+    def export_pcap(
+        destination,
+        traffic: Sequence,
+        fmt: str = "pcap",
+        nanosecond: bool = False,
+    ) -> int:
+        """Write generated traffic to a capture file (pcap or pcapng).
+
+        ``traffic`` is either a packet list or a flow list (flows are
+        interleaved into the arrival order a scan service would see).  The
+        written capture round-trips: reading it back with
+        :func:`repro.capture.load_packets` yields the same headers and
+        payloads in the same order, so replayed scans find the same matches.
+        Packet *ids* are not on the wire — a replay renumbers them in capture
+        order, so event streams are byte-identical to an in-memory scan of
+        the packets renumbered the same way (arrival order), and match
+        in-memory events of the original list modulo ``packet_id``.
+        Returns the number of frames written.
+        """
+        # imported lazily: repro.capture depends on repro.traffic.packet
+        from ..capture.replay import write_packets
+
+        if traffic and isinstance(traffic[0], GeneratedFlow):
+            traffic = TrafficGenerator.interleave(traffic)
+        return write_packets(destination, traffic, fmt=fmt, nanosecond=nanosecond)
+
+    @staticmethod
     def interleave(flows: Sequence[GeneratedFlow]) -> List[Packet]:
         """Round-robin merge: one packet per flow per round, order preserved.
 

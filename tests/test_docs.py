@@ -101,6 +101,11 @@ class TestArchitectureDoc:
             "AcceleratorProgram",
             "ScanState",
             "FlowTable",
+            # the capture/replay subsystem and its headline guarantee
+            "repro.capture",
+            "read_capture",
+            "byte-identical",
+            "bench_pcap_replay.py",
         ):
             assert needle in text, f"architecture.md misses {needle!r}"
 

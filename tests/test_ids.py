@@ -120,6 +120,35 @@ class TestPipeline:
         alerts = ids.process(packets)
         assert {(a.packet_id, a.sid) for a in alerts} == {(0, 101), (1, 102)}
 
+    def test_from_specs_sid_collisions_load(self):
+        # colliding and missing sids must not trip the duplicate-sid check:
+        # first claimant keeps the sid, others get fresh non-reserved ones
+        specs = parse_rules([
+            'alert tcp any any -> any any (content:"auto-rule";)',
+            'alert tcp any any -> any any (content:"first"; sid:1;)',
+            'alert tcp any any -> any any (content:"second"; sid:1;)',
+        ])
+        remap = {}
+        ids = IntrusionDetectionSystem.from_specs(specs, sid_remap=remap)
+        by_content = {rule.contents[0]: sid for sid, rule in ids.rules.items()}
+        assert by_content[b"first"] == 1
+        assert by_content[b"auto-rule"] == 2
+        assert by_content[b"second"] == 3
+        assert remap == {3: 1}
+
+    def test_from_specs_reserves_contentless_rules_sids(self):
+        # a content-less rule is skipped, but its explicit sid must stay
+        # off-limits so alert sids never point at an unrelated rule
+        specs = parse_rules([
+            'alert tcp any any -> any any (msg:"metadata only"; sid:1;)',
+            'alert tcp any any -> any any (content:"first"; sid:5;)',
+            'alert tcp any any -> any any (content:"second"; sid:5;)',
+        ])
+        ids = IntrusionDetectionSystem.from_specs(specs)
+        by_content = {rule.contents[0]: sid for sid, rule in ids.rules.items()}
+        assert by_content[b"first"] == 5
+        assert by_content[b"second"] == 2  # not 1 — that sid is claimed
+
     def test_validation(self):
         with pytest.raises(ValueError):
             IntrusionDetectionSystem([])

@@ -45,6 +45,38 @@ class TestDecodeContent:
         with pytest.raises(RuleParseError):
             decode_content_pattern("")
 
+    def test_escaped_characters_decode_to_bare_character(self):
+        # the escape backslash is never part of the pattern bytes
+        assert decode_content_pattern(r"a\;b") == b"a;b"
+        assert decode_content_pattern(r"a\"b") == b'a"b'
+        assert decode_content_pattern(r"a\\b") == b"a\\b"
+
+    def test_escapes_mix_with_hex_blocks(self):
+        assert decode_content_pattern(r"\;|41|\\") == b";A\\"
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(RuleParseError):
+            decode_content_pattern("abc\\")
+
+    def test_non_latin1_character_rejected_as_parse_error(self):
+        # must surface as RuleParseError, not a raw UnicodeEncodeError
+        with pytest.raises(RuleParseError, match="non-latin-1"):
+            decode_content_pattern("caf€")
+
+    def test_undefined_escape_rejected(self):
+        # a stray un-doubled backslash must fail loudly, not silently load
+        # a mangled pattern into every matcher
+        with pytest.raises(RuleParseError, match="undefined escape"):
+            decode_content_pattern(r"C:\temp\x")
+
+    def test_unterminated_hex_rejected(self):
+        with pytest.raises(RuleParseError):
+            decode_content_pattern("|41")
+
+    def test_non_hex_block_rejected(self):
+        with pytest.raises(RuleParseError):
+            decode_content_pattern("|4G|")
+
 
 class TestParseRule:
     def test_header_fields(self):
@@ -79,6 +111,32 @@ class TestParseRule:
         assert ("flow", "to_server") in spec.unparsed_options
         assert ("depth", "10") in spec.unparsed_options
 
+    def test_escaped_content_loads_correct_pattern(self):
+        # regression: the backslash used to survive into the pattern bytes,
+        # so every matcher was loaded with the wrong string
+        spec = parse_rule(
+            'alert tcp any any -> any any (content:"a\\;b"; content:"c\\"d"; sid:9;)'
+        )
+        assert [c.pattern for c in spec.contents] == [b"a;b", b'c"d']
+
+    def test_escaped_semicolon_does_not_split_options(self):
+        spec = parse_rule(
+            'alert tcp any any -> any any (msg:"one\\; two"; content:"x"; sid:9;)'
+        )
+        assert spec.msg == "one; two"
+        assert len(spec.contents) == 1
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(RuleParseError, match="direction"):
+            parse_rule('alert tcp any any <- any any (content:"x"; sid:4;)')
+
+    def test_valid_directions_accepted(self):
+        for direction in ("->", "<>"):
+            spec = parse_rule(
+                f'alert tcp any any {direction} any any (content:"x"; sid:4;)'
+            )
+            assert spec.header.direction == direction
+
     def test_errors(self):
         with pytest.raises(RuleParseError):
             parse_rule("# comment only")
@@ -97,6 +155,11 @@ class TestParseMany:
         specs = parse_rules(["", "# header", RULE, RULE_HEX])
         assert len(specs) == 2
 
+    def test_parse_error_carries_line_number(self):
+        with pytest.raises(RuleParseError, match="line 3"):
+            parse_rules(["# comment", RULE,
+                         'alert tcp any any <- any any (content:"x"; sid:4;)'])
+
     def test_ruleset_from_specs_dedupes(self):
         specs = parse_rules([RULE, RULE, RULE_TWO_CONTENTS])
         ruleset = ruleset_from_specs(specs)
@@ -105,6 +168,39 @@ class TestParseMany:
         assert b"cmd.exe" in ruleset
         assert b"baddomain" in ruleset
         assert b"\x01\x00" in ruleset
+
+    def test_sid_collision_keeps_first_and_records_remap(self):
+        specs = parse_rules([
+            'alert tcp any any -> any 80 (content:"first"; sid:100;)',
+            'alert tcp any any -> any 80 (content:"second"; sid:100;)',
+            'alert tcp any any -> any 80 (content:"third"; sid:100;)',
+        ])
+        remap = {}
+        ruleset = ruleset_from_specs(specs, sid_remap=remap)
+        # the first claimant keeps its sid; the others get fresh sids and the
+        # remap says which rule they came from — no phantom sid is invented
+        assert ruleset.rule_for(b"first").sid == 100
+        assert ruleset.sids == [100, 1, 2]
+        assert remap == {1: 100, 2: 100}
+
+    def test_auto_sids_never_squat_on_later_explicit_sids(self):
+        specs = parse_rules([
+            'alert tcp any any -> any 80 (content:"auto";)',
+            'alert tcp any any -> any 80 (content:"explicit"; sid:1;)',
+        ])
+        ruleset = ruleset_from_specs(specs)
+        # the sid-less rule must not steal sid 1 from the rule that claims it
+        assert ruleset.rule_for(b"auto").sid == 2
+        assert ruleset.rule_for(b"explicit").sid == 1
+
+    def test_multi_content_rule_extra_contents_get_fresh_sids(self):
+        remap = {}
+        ruleset = ruleset_from_specs(
+            parse_rules([RULE_TWO_CONTENTS]), sid_remap=remap
+        )
+        assert ruleset.rule_for(b"baddomain").sid == 3001
+        assert ruleset.rule_for(b"\x01\x00").sid == 1
+        assert remap == {1: 3001}
 
     def test_ruleset_usable_by_matcher(self):
         from repro.core import DTPAutomaton
