@@ -3,6 +3,9 @@ Inspection" (Kennedy, Wang, Liu, Liu — DATE 2010).
 
 The package is organised as:
 
+* :mod:`repro.api`      — the declarative pipeline layer: a
+  :class:`PipelineConfig` (source + rules + engine + sinks, JSON/TOML
+  round-trippable) and the :class:`Session` facade that runs it;
 * :mod:`repro.backend`  — the unified :class:`MatcherBackend` /
   :class:`CompiledProgram` protocol and the registry every scan layer
   (streaming, IDS, hardware, CLI) is written against;
@@ -65,6 +68,19 @@ reports the identical events:
     True
 """
 
+__version__ = "0.2.0"
+
+from .api import (
+    ContentRule,
+    EngineSpec,
+    PipelineConfig,
+    RulesSpec,
+    RunResult,
+    Session,
+    SinkSpec,
+    SourceSpec,
+    load_config,
+)
 from .automata import (
     AhoCorasickDFA,
     AhoCorasickNFA,
@@ -136,9 +152,16 @@ from .streaming import (
 )
 from .traffic import GeneratedFlow, Packet, TrafficGenerator, TrafficProfile
 
-__version__ = "0.1.0"
-
 __all__ = [
+    "ContentRule",
+    "EngineSpec",
+    "PipelineConfig",
+    "RulesSpec",
+    "RunResult",
+    "Session",
+    "SinkSpec",
+    "SourceSpec",
+    "load_config",
     "AhoCorasickDFA",
     "AhoCorasickNFA",
     "BitmapAhoCorasick",

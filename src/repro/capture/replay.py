@@ -14,6 +14,13 @@ sharded services already rely on.
 Real-world captures contain frames the DPI layers cannot scan (ARP, ICMP,
 fragments); :func:`load_packets` skips and counts them per reason in
 :class:`ReplayStats` unless ``strict`` is set.
+
+Captures also plug into the declarative pipeline API: a
+``SourceSpec(kind="pcap", path=...)`` makes :class:`repro.api.Session` drive
+:func:`load_packets` (honouring the engine's ``strict`` flag), and a
+``SinkSpec(kind="pcap", path=...)`` exports a run's packets through
+:func:`write_packets` — so ``repro run`` replays and produces capture files
+without any hand-wiring.
 """
 
 from __future__ import annotations
@@ -153,3 +160,14 @@ def replay_ids(source: CaptureSource, ids, strict: bool = False):
     """Replay a capture through the stateful IDS pipeline; returns the alerts."""
     packets, _ = load_packets(source, strict=strict)
     return ids.scan_flow(packets)
+
+
+__all__ = [
+    "CaptureSource",
+    "ReplayStats",
+    "load_packets",
+    "replay_ids",
+    "replay_scan",
+    "replay_stream",
+    "write_packets",
+]

@@ -11,15 +11,25 @@ figure can be regenerated from a shell:
 * ``scan-pcap``        — replay a pcap/pcapng capture through the scan service;
 * ``ids``              — the end-to-end mini IDS over streamed flows (takes
   ``--pcap`` to run on a capture instead of synthetic flows);
+* ``run``              — execute a declarative pipeline config file (JSON or
+  TOML) through :class:`repro.api.Session`;
 * ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
 * ``fig6`` / ``fig7`` / ``fig8``       — regenerate the paper's figures as text.
 
-The ``scan``, ``scan-stream``, ``scan-pcap`` and ``ids`` subcommands take
-``--backend`` with
-any name from :mod:`repro.backend` (``dtp``, ``dense``, ``bitmap``, ``path``,
-``wu-manber``, ``ac``); every backend is driven through the same
-:class:`repro.backend.CompiledProgram` protocol, so the reported match sets
-are identical by construction.
+The scanning subcommands are thin adapters: each builds a
+:class:`repro.api.PipelineConfig` from its flags and delegates construction
+to :class:`repro.api.Session`, so the CLI, the config-file path (``run``)
+and programmatic use share one composition of sources, rules, engines and
+sinks.  ``scan``, ``scan-stream``, ``scan-pcap`` and ``ids`` take
+``--backend`` with any name from :mod:`repro.backend` (``dtp``, ``dense``,
+``bitmap``, ``path``, ``wu-manber``, ``ac``); every backend is driven
+through the same :class:`repro.backend.CompiledProgram` protocol, so the
+reported match sets are identical by construction.
+
+Error idiom: bad input *values* (a negative count, a corrupt capture, an
+unparseable rule) raise their raw ``ValueError``-family tracebacks;
+empty-result and flag-combination errors print one line to stderr and
+exit 1.
 """
 
 from __future__ import annotations
@@ -41,20 +51,23 @@ from .analysis.metrics import (
     table3_rows,
 )
 from .analysis.tables import ascii_chart, format_histogram, format_table
-from .backend import backend_names, get_backend
-from .capture import load_packets, read_capture
+from .api import (
+    EmptyRulesetError,
+    EngineSpec,
+    PipelineConfig,
+    RulesSpec,
+    Session,
+    SinkSpec,
+    SourceSpec,
+    load_config,
+    repro_version,
+)
+from .backend import backend_names
 from .core.accelerator_config import compile_ruleset
 from .fpga.devices import CYCLONE_III, DEVICES, STRATIX_III, get_device
-from .hardware.accelerator import HardwareAccelerator
-from .ids.classifier import HeaderPattern
-from .ids.pipeline import IDSRule, IntrusionDetectionSystem
 from .rulesets.generator import generate_paper_rulesets, generate_snort_like_ruleset
-from .rulesets.parser import parse_rules, ruleset_from_specs
 from .rulesets.reducer import reduce_to_character_count
-from .streaming.executor import ParallelScanService
 from .streaming.scanner import StreamScanner
-from .streaming.service import ScanService
-from .traffic.generator import TrafficGenerator, TrafficProfile
 
 
 def _add_ruleset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -69,19 +82,6 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         choices=backend_names(),
         help="matcher backend (all report identical match sets)",
     )
-
-
-def _build_program(ruleset, device, backend: str):
-    """Compile ``ruleset`` with ``backend`` through the unified protocol.
-
-    The ``dtp`` backend goes through the full device compiler (partitioning,
-    324-bit word packing) so its program mirrors the hardware; every other
-    backend compiles the bare pattern list.  String numbers follow ruleset
-    order in both cases, so match reports are directly comparable.
-    """
-    if backend == "dtp":
-        return compile_ruleset(ruleset, device)
-    return get_backend(backend).compile(ruleset.patterns)
 
 
 def _cmd_generate_ruleset(args: argparse.Namespace) -> int:
@@ -121,58 +121,48 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
-    device = get_device(args.device)
-    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
-    generator = TrafficGenerator(
-        ruleset,
-        TrafficProfile(mean_payload_bytes=args.payload, attack_probability=args.attack_rate),
-        seed=args.seed + 1,
+    config = PipelineConfig(
+        mode="packets",
+        source=SourceSpec(
+            kind="generator",
+            count=args.packets,
+            mean_payload=args.payload,
+            attack_rate=args.attack_rate,
+            seed=args.seed + 1,
+        ),
+        rules=RulesSpec(kind="synthetic", size=args.size, seed=args.seed),
+        engine=EngineSpec(backend=args.backend, device=args.device),
     )
-    packets = generator.packets(args.packets)
+    with Session.from_config(config) as session:
+        packets = session.packets
 
-    if args.backend == "dtp":
-        # the paper's backend runs through the cycle-level hardware model
-        program = compile_ruleset(ruleset, device)
-        accelerator = HardwareAccelerator(program)
-        result = accelerator.scan(packets)
-        print(f"scanned {len(packets)} packets ({result.bytes_processed} bytes)")
-        print(f"engine cycles          : {result.engine_cycles}")
-        print(f"bytes per engine cycle : {result.bytes_per_engine_cycle:.3f}")
-        print(f"match events           : {len(result.events)}")
-        print(f"nominal throughput     : {accelerator.nominal_throughput_gbps():.1f} Gbps")
-        return 0
+        if args.backend == "dtp":
+            # the paper's backend runs through the cycle-level hardware model
+            result = session.hardware_scan()
+            print(f"scanned {len(packets)} packets ({result.bytes_processed} bytes)")
+            print(f"engine cycles          : {result.engine_cycles}")
+            print(f"bytes per engine cycle : {result.bytes_per_engine_cycle:.3f}")
+            print(f"match events           : {len(result.events)}")
+            print(
+                f"nominal throughput     : "
+                f"{session.hardware.nominal_throughput_gbps():.1f} Gbps"
+            )
+            return 0
 
-    # every other backend: functional scan through the unified protocol
-    compile_start = time.perf_counter()
-    program = get_backend(args.backend).compile(ruleset.patterns)
-    compile_seconds = time.perf_counter() - compile_start
-    payloads = [packet.payload for packet in packets]
-    total_bytes = sum(len(payload) for payload in payloads)
-    scan_start = time.perf_counter()
-    per_packet = program.scan_packets(payloads)
-    scan_seconds = time.perf_counter() - scan_start
-    events = sum(len(matches) for matches in per_packet)
-    print(f"scanned {len(packets)} packets ({total_bytes} bytes)")
-    print(f"backend                : {args.backend}")
-    print(f"compile time           : {compile_seconds * 1e3:.1f} ms")
-    print(f"match events           : {events}")
-    if scan_seconds > 0:
-        print(f"software throughput    : {total_bytes / scan_seconds / 1e6:.2f} MB/s")
+        # every other backend: functional scan through the unified protocol
+        session.program  # compiled here so compile_seconds excludes the scan
+        total_bytes = sum(len(packet.payload) for packet in packets)
+        scan_start = time.perf_counter()
+        per_packet = session.scan_stateless()
+        scan_seconds = time.perf_counter() - scan_start
+        events = sum(len(matches) for matches in per_packet)
+        print(f"scanned {len(packets)} packets ({total_bytes} bytes)")
+        print(f"backend                : {args.backend}")
+        print(f"compile time           : {session.compile_seconds * 1e3:.1f} ms")
+        print(f"match events           : {events}")
+        if scan_seconds > 0:
+            print(f"software throughput    : {total_bytes / scan_seconds / 1e6:.2f} MB/s")
     return 0
-
-
-def _make_service(program, args: argparse.Namespace):
-    """Serial or process-parallel scan service, per ``--workers``."""
-    if args.workers is not None:  # 0 is invalid, not "serial" — let it raise
-        return ParallelScanService(
-            program,
-            num_shards=args.shards,
-            flow_capacity_per_shard=args.flow_capacity,
-            workers=args.workers,
-        )
-    return ScanService(
-        program, num_shards=args.shards, flow_capacity_per_shard=args.flow_capacity
-    )
 
 
 def _print_event_report(events, sid_of) -> None:
@@ -203,34 +193,45 @@ def _print_scan_summary(service, result, show_workers: bool, extra_lines=()) -> 
 
 
 def _cmd_scan_stream(args: argparse.Namespace) -> int:
-    device = get_device(args.device)
-    ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
-    program = _build_program(ruleset, device, args.backend)
-    service = _make_service(program, args)
-    generator = TrafficGenerator(ruleset, seed=args.seed + 1)
-    flows = generator.flows(
-        args.flows,
-        num_packets=args.packets_per_flow,
-        split_patterns=1,
-        split_segments=args.split_segments,
-        segment_bytes=args.segment_bytes,
-    )
-    packets = TrafficGenerator.interleave(flows)
+    sinks = ()
     if args.export_pcap:
-        # container follows the extension so the file's magic matches its name
-        fmt = "pcapng" if str(args.export_pcap).endswith(".pcapng") else "pcap"
-        written = TrafficGenerator.export_pcap(args.export_pcap, packets, fmt=fmt)
-        print(f"wrote {written} frames to {args.export_pcap}")
-    with service:
-        result = service.scan(packets)
+        # the sink follows the extension so the file's magic matches its name
+        sinks = (SinkSpec(kind="pcap", path=args.export_pcap),)
+    config = PipelineConfig(
+        mode="stream",
+        source=SourceSpec(
+            kind="generator",
+            flows=args.flows,
+            packets_per_flow=args.packets_per_flow,
+            split_patterns=1,
+            split_segments=args.split_segments,
+            segment_bytes=args.segment_bytes,
+            seed=args.seed + 1,
+        ),
+        rules=RulesSpec(kind="synthetic", size=args.size, seed=args.seed),
+        engine=EngineSpec(
+            backend=args.backend,
+            device=args.device,
+            shards=args.shards,
+            workers=args.workers,
+            flow_capacity=args.flow_capacity,
+        ),
+        sinks=sinks,
+    )
+    with Session.from_config(config) as session:
+        run = session.run()
+        result = run.scan_result
+        if args.export_pcap:
+            print(f"wrote {run.sinks[0]['frames']} frames to {args.export_pcap}")
 
         # ground truth: every flow carries one deliberately split pattern
         # (string numbers follow ruleset order for every backend)
-        sid_of = {index: rule.sid for index, rule in enumerate(ruleset)}
+        sid_of = session.sid_of
+        program = session.program
         events_by_flow = result.events_by_flow()
         found_split = 0
         stateless_split = 0
-        for flow in flows:
+        for flow in session.flows:
             key = StreamScanner.flow_key(flow.packets[0])
             streamed = {sid_of[event.string_number] for event in events_by_flow.get(key, ())}
             stateless = {
@@ -242,18 +243,19 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
                 found_split += sid in streamed
                 stateless_split += sid in stateless
 
+        num_flows = len(session.flows)
         print(f"backend                   : {args.backend}")
         print(
-            f"scanned {result.packets} packets / {len(flows)} flows "
-            f"({result.bytes_scanned} bytes) on {service.num_shards} shard(s)"
+            f"scanned {result.packets} packets / {num_flows} flows "
+            f"({result.bytes_scanned} bytes) on {session.service.num_shards} shard(s)"
         )
         _print_scan_summary(
-            service,
+            session.service,
             result,
             show_workers=args.workers is not None,
             extra_lines=(
-                f"split patterns detected   : {found_split}/{len(flows)} (streaming)",
-                f"split patterns detected   : {stateless_split}/{len(flows)} (per-packet scan)",
+                f"split patterns detected   : {found_split}/{num_flows} (streaming)",
+                f"split patterns detected   : {stateless_split}/{num_flows} (per-packet scan)",
             ),
         )
     if args.print_events:
@@ -263,62 +265,65 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_rule_specs(path: str):
-    """Parse a Snort rules file, or ``None`` if it has nothing to match on."""
-    with open(path, encoding="utf-8") as handle:
-        specs = parse_rules(handle)
-    if not any(spec.contents for spec in specs):
-        print(f"no content patterns found in {path}", file=sys.stderr)
-        return None
-    return specs
-
-
 def _cmd_scan_pcap(args: argparse.Namespace) -> int:
-    device = get_device(args.device)
-    sid_remap: Dict[int, int] = {}
     if args.rules:
-        specs = _load_rule_specs(args.rules)
-        if specs is None:
-            return 1
-        ruleset = ruleset_from_specs(specs, name=args.rules, sid_remap=sid_remap)
+        rules = RulesSpec(kind="file", path=args.rules)
     else:
-        ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
-    program = _build_program(ruleset, device, args.backend)
-
-    capture = read_capture(args.pcap)
-    packets, stats = load_packets(capture, strict=args.strict)
-    flow_count = len({StreamScanner.flow_key(packet) for packet in packets})
-
-    with _make_service(program, args) as service:
-        result = service.scan(packets)
-        print(f"backend                   : {args.backend}")
-        print(
-            f"capture                   : {args.pcap} "
-            f"({capture.fmt}, linktype {capture.linktype}, {stats.frames} frames)"
-        )
-        print(
-            f"decoded {stats.decoded} packets / {flow_count} flows "
-            f"({stats.payload_bytes} payload bytes)"
-        )
-        skipped = ", ".join(
-            f"{reason}={count}" for reason, count in sorted(stats.skipped.items())
-        )
-        print(f"skipped frames            : {stats.skipped_total}"
-              + (f" ({skipped})" if skipped else ""))
-        # remaps cover genuine collisions and the extra contents of
-        # multi-content rules — both are sids that differ from the rule file
-        print(f"rules loaded              : {len(ruleset)}"
-              + (f" ({len(sid_remap)} reassigned sids)" if sid_remap else ""))
-        _print_scan_summary(service, result, show_workers=args.workers is not None)
+        rules = RulesSpec(kind="synthetic", size=args.size, seed=args.seed)
+    config = PipelineConfig(
+        mode="stream",
+        source=SourceSpec(kind="pcap", path=args.pcap),
+        rules=rules,
+        engine=EngineSpec(
+            backend=args.backend,
+            device=args.device,
+            shards=args.shards,
+            workers=args.workers,
+            flow_capacity=args.flow_capacity,
+            strict=args.strict,
+        ),
+    )
+    try:
+        with Session.from_config(config) as session:
+            ruleset = session.ruleset
+            result = session.scan()
+            capture = session.capture
+            stats = session.capture_stats
+            flow_count = len(
+                {StreamScanner.flow_key(packet) for packet in session.packets}
+            )
+            print(f"backend                   : {args.backend}")
+            print(
+                f"capture                   : {args.pcap} "
+                f"({capture.fmt}, linktype {capture.linktype}, {stats.frames} frames)"
+            )
+            print(
+                f"decoded {stats.decoded} packets / {flow_count} flows "
+                f"({stats.payload_bytes} payload bytes)"
+            )
+            skipped = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(stats.skipped.items())
+            )
+            print(f"skipped frames            : {stats.skipped_total}"
+                  + (f" ({skipped})" if skipped else ""))
+            # remaps cover genuine collisions and the extra contents of
+            # multi-content rules — both are sids that differ from the rule file
+            remapped = len(session.sid_remap)
+            print(f"rules loaded              : {len(ruleset)}"
+                  + (f" ({remapped} reassigned sids)" if remapped else ""))
+            _print_scan_summary(
+                session.service, result, show_workers=args.workers is not None
+            )
+            sid_of = session.sid_of
+    except EmptyRulesetError as exc:
+        print(exc, file=sys.stderr)
+        return 1
     if args.print_events:
-        sid_of = {index: rule.sid for index, rule in enumerate(ruleset)}
         _print_event_report(result.events, sid_of)
     return 0
 
 
 def _cmd_ids(args: argparse.Namespace) -> int:
-    device = get_device(args.device)
-    sid_remap: Dict[int, int] = {}
     if args.rules:
         # real rules only make sense against real traffic: the synthetic
         # flow generator injects patterns from the synthetic ruleset
@@ -326,69 +331,101 @@ def _cmd_ids(args: argparse.Namespace) -> int:
             print("--rules requires --pcap (a capture to match against)",
                   file=sys.stderr)
             return 1
-        specs = _load_rule_specs(args.rules)
-        if specs is None:
-            return 1
-        ruleset = None
-        ids = IntrusionDetectionSystem.from_specs(
-            specs,
-            device=device,
-            backend=args.backend,
-            workers=args.workers,
-            sid_remap=sid_remap,
-        )
+        rules = RulesSpec(kind="file", path=args.rules)
     else:
-        ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
-        # one single-content IDS rule per generated string; the wildcard header
-        # keeps every packet a candidate so detection is decided by the matcher
-        rules = [
-            IDSRule(sid=rule.sid, header=HeaderPattern(), contents=(rule.pattern,))
-            for rule in ruleset
-        ]
-        ids = IntrusionDetectionSystem(
-            rules, device=device, backend=args.backend, workers=args.workers
-        )
-
+        rules = RulesSpec(kind="synthetic", size=args.size, seed=args.seed)
     if args.pcap:
         # replay a capture through the stateful pipeline instead of
         # generating flows (no injection ground truth on the wire)
-        packets, stats = load_packets(args.pcap, strict=args.strict)
-        flows = None
-        flow_count = len({StreamScanner.flow_key(packet) for packet in packets})
+        source = SourceSpec(kind="pcap", path=args.pcap)
     else:
-        generator = TrafficGenerator(ruleset, seed=args.seed + 1)
-        flows = generator.flows(
-            args.flows, num_packets=args.packets_per_flow, split_patterns=1
+        source = SourceSpec(
+            kind="generator",
+            flows=args.flows,
+            packets_per_flow=args.packets_per_flow,
+            split_patterns=1,
+            seed=args.seed + 1,
         )
-        packets = TrafficGenerator.interleave(flows)
-        flow_count = len(flows)
-    with ids:
-        alerts = ids.scan_flow(packets)
-
-    print(f"backend              : {args.backend}")
-    if args.pcap:
-        print(
-            f"capture              : {args.pcap} "
-            f"({stats.frames} frames, {stats.skipped_total} skipped)"
-        )
-    print(
-        f"processed {ids.stats.packets_processed} packets / {flow_count} flows "
-        f"({ids.stats.payload_bytes} payload bytes)"
+    config = PipelineConfig(
+        mode="ids",
+        source=source,
+        rules=rules,
+        engine=EngineSpec(
+            backend=args.backend,
+            device=args.device,
+            workers=args.workers,
+            strict=args.strict,
+        ),
     )
-    print(f"rules loaded         : {len(ids.rules)}"
-          + (f" ({len(sid_remap)} reassigned sids)" if sid_remap else ""))
-    print(f"alerts raised        : {len(alerts)}")
-    if flows is not None:
-        alerted_sids = {alert.sid for alert in alerts}
-        split_detected = sum(
-            1 for flow in flows for sid in flow.split_sids if sid in alerted_sids
-        )
-        split_total = sum(len(flow.split_sids) for flow in flows)
-        print(f"split-pattern alerts : {split_detected}/{split_total}")
+    try:
+        with Session.from_config(config) as session:
+            ids = session.ids
+            flows = session.flows
+            flow_count = (
+                len(flows)
+                if flows is not None
+                else len({StreamScanner.flow_key(packet) for packet in session.packets})
+            )
+            alerts = session.run().alerts
+
+            print(f"backend              : {args.backend}")
+            if args.pcap:
+                stats = session.capture_stats
+                print(
+                    f"capture              : {args.pcap} "
+                    f"({stats.frames} frames, {stats.skipped_total} skipped)"
+                )
+            print(
+                f"processed {ids.stats.packets_processed} packets / {flow_count} flows "
+                f"({ids.stats.payload_bytes} payload bytes)"
+            )
+            remapped = len(session.sid_remap)
+            print(f"rules loaded         : {len(ids.rules)}"
+                  + (f" ({remapped} reassigned sids)" if remapped else ""))
+            print(f"alerts raised        : {len(alerts)}")
+            if flows is not None:
+                alerted_sids = {alert.sid for alert in alerts}
+                split_detected = sum(
+                    1 for flow in flows for sid in flow.split_sids if sid in alerted_sids
+                )
+                split_total = sum(len(flow.split_sids) for flow in flows)
+                print(f"split-pattern alerts : {split_detected}/{split_total}")
+    except EmptyRulesetError as exc:
+        print(exc, file=sys.stderr)
+        return 1
     if args.print_alerts:
         print("alert report:")
         for alert in alerts:
             print(f"  packet={alert.packet_id} sid={alert.sid}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = load_config(args.config)
+    try:
+        with Session.from_config(config) as session:
+            run = session.run()
+            print(f"pipeline              : {args.config}")
+            print(f"version               : {repro_version()}")
+            print(f"mode                  : {config.mode}")
+            print(f"backend               : {config.engine.backend}")
+            print(f"rules loaded          : {len(session.ruleset)}")
+            print(f"packets               : {len(session.packets)}")
+            if config.mode == "ids":
+                print(f"alerts raised         : {len(run.alerts)}")
+            else:
+                print(f"match events          : {len(run.events)}")
+            for index, (spec, output) in enumerate(zip(config.sinks, run.sinks)):
+                if spec.kind == "ndjson":
+                    summary = f"wrote {output['records']} {output['what']} to {output['path']}"
+                elif spec.kind == "pcap":
+                    summary = f"wrote {output['frames']} frames to {output['path']}"
+                else:
+                    summary = f"collected {len(output)} {spec.kind}"
+                print(f"sink[{index}] {spec.kind:<13s}: {summary}")
+    except EmptyRulesetError as exc:
+        print(exc, file=sys.stderr)
+        return 1
     return 0
 
 
@@ -472,9 +509,16 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    version = repro_version()
     parser = argparse.ArgumentParser(
         prog="repro-dpi",
         description="Reproduction of 'Ultra-High Throughput String Matching for DPI' (DATE 2010)",
+        epilog=f"version {version} — pipeline configs produced by this build "
+               "record it in their 'version' field (see `run` and repro.api)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {version}",
+        help="print the package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -569,6 +613,14 @@ def build_parser() -> argparse.ArgumentParser:
     ids.add_argument("--print-alerts", action="store_true",
                      help="print every alert (backend-independent report)")
     ids.set_defaults(handler=_cmd_ids)
+
+    run = subparsers.add_parser(
+        "run", help="execute a declarative pipeline config file (JSON or TOML)"
+    )
+    run.add_argument("config",
+                     help="pipeline config file; relative paths inside it "
+                          "resolve against its own directory")
+    run.set_defaults(handler=_cmd_run)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table I")
     table1.set_defaults(handler=_cmd_table1)

@@ -164,6 +164,33 @@ class IntrusionDetectionSystem:
 
     # ------------------------------------------------------------------
     @classmethod
+    def from_ruleset(
+        cls,
+        ruleset,
+        device: FPGADevice = STRATIX_III,
+        use_hardware_model: bool = False,
+        backend: str = "dtp",
+        workers: Optional[int] = None,
+    ) -> "IntrusionDetectionSystem":
+        """Build an IDS with one wildcard-header rule per ruleset pattern.
+
+        The wildcard header keeps every packet a candidate, so detection is
+        decided purely by the content matcher — the construction the CLI and
+        :class:`repro.api.Session` use for synthetic rulesets.
+        """
+        rules = [
+            IDSRule(sid=rule.sid, header=HeaderPattern(), contents=(rule.pattern,))
+            for rule in ruleset
+        ]
+        return cls(
+            rules,
+            device=device,
+            use_hardware_model=use_hardware_model,
+            backend=backend,
+            workers=workers,
+        )
+
+    @classmethod
     def from_specs(
         cls,
         specs: Iterable[SnortRuleSpec],

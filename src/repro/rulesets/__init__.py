@@ -15,11 +15,13 @@ from .parser import (
     ContentPattern,
     RuleHeader,
     RuleParseError,
+    SidAllocator,
     SnortRuleSpec,
     decode_content_pattern,
     parse_rule,
     parse_rules,
     ruleset_from_specs,
+    spec_from_content,
 )
 from .reducer import reduce_ruleset, reduce_to_character_count
 from .ruleset import PatternRule, RuleSet
@@ -35,11 +37,13 @@ __all__ = [
     "ContentPattern",
     "RuleHeader",
     "RuleParseError",
+    "SidAllocator",
     "SnortRuleSpec",
     "decode_content_pattern",
     "parse_rule",
     "parse_rules",
     "ruleset_from_specs",
+    "spec_from_content",
     "reduce_ruleset",
     "reduce_to_character_count",
     "PatternRule",

@@ -267,6 +267,39 @@ def parse_rules(lines: Iterable[str]) -> List[SnortRuleSpec]:
     return specs
 
 
+def spec_from_content(
+    content: str,
+    sid: Optional[int] = None,
+    msg: str = "",
+    nocase: bool = False,
+    action: str = "alert",
+    protocol: str = "ip",
+) -> SnortRuleSpec:
+    r"""Build a wildcard-header spec from one Snort content string.
+
+    This is the explicit-rules path of :mod:`repro.api`: the header is the
+    wildcard ``alert ip any any -> any any`` (every packet is a candidate,
+    so detection is decided purely by the content matcher) and ``content``
+    uses the same syntax — ``|hex|`` blocks and ``\;`` ``\"`` ``\\``
+    escapes — as a rules file:
+
+    >>> spec = spec_from_content("GET|20|/", sid=9, msg="http")
+    >>> (spec.sid, spec.msg, spec.contents[0].pattern)
+    (9, 'http', b'GET /')
+    """
+    header = RuleHeader(
+        action=action,
+        protocol=protocol,
+        src_ip="any",
+        src_port="any",
+        direction="->",
+        dst_ip="any",
+        dst_port="any",
+    )
+    pattern = ContentPattern(pattern=decode_content_pattern(content), nocase=nocase)
+    return SnortRuleSpec(header=header, contents=[pattern], msg=msg, sid=sid)
+
+
 class SidAllocator:
     """Deterministic sid assignment shared by every specs-ingesting builder.
 

@@ -27,7 +27,10 @@ checkpoint restores into a parallel service and vice versa.
 
 The pool is a context manager (``with ParallelScanService(...) as service:``)
 and shuts its workers down gracefully on ``close()``; worker processes are
-daemonic as a safety net against leaked services.
+daemonic as a safety net against leaked services.  Declaratively, an
+``EngineSpec(workers=N)`` in a :class:`repro.api.PipelineConfig` makes
+:class:`repro.api.Session` build this front-end instead of the serial one —
+with, by contract, byte-identical output.
 """
 
 from __future__ import annotations

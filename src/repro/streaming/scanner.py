@@ -14,6 +14,9 @@ The scanner is written against the :class:`repro.backend.CompiledProgram`
 protocol, so *any* backend — the device-partitioned
 :class:`repro.core.AcceleratorProgram`, the compiled dense table, a plain
 DFA, even Wu-Manber — multiplexes flows through the identical code path.
+Higher layers stack the sharded services on top of it; the declarative
+:class:`repro.api.Session` facade composes the whole column from one
+:class:`repro.api.PipelineConfig`.
 """
 
 from __future__ import annotations
@@ -170,3 +173,11 @@ class StreamScanner:
     @property
     def active_flows(self) -> int:
         return len(self.flows)
+
+
+__all__ = [
+    "ANONYMOUS_FLOW",
+    "ScannerStatistics",
+    "StreamMatch",
+    "StreamScanner",
+]

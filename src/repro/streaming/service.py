@@ -76,11 +76,15 @@ class ShardedScanServiceBase:
     flow→shard mapping, the batch grouping, the result aggregation and the
     checkpoint envelope live here so the two front-ends cannot drift apart.
     Both are context managers, so callers can hold either in a ``with`` block
-    (teardown is a no-op for the serial service).
+    (teardown is a no-op for the serial service).  Either front-end can be
+    built declaratively through :class:`repro.api.Session` (the
+    ``EngineSpec`` ``workers`` field selects which).
     """
 
     program: CompiledProgram
     num_shards: int
+    #: Worker-process count; ``None`` for in-process (serial) front-ends.
+    num_workers: Optional[int] = None
 
     @staticmethod
     def _validate_num_shards(num_shards: int) -> None:
@@ -137,6 +141,23 @@ class ShardedScanServiceBase:
                 f"checkpoint lists {len(data['shards'])} shard tables, "
                 f"expected {self.num_shards}"
             )
+
+    def stats(self) -> Dict[str, object]:
+        """The service's gauges as one plain dict (shared by both front-ends).
+
+        Counters (``evicted_flows``, ``cross_segment_matches``) are
+        lifetime totals; ``active_flows``/``shard_occupancy`` are live
+        gauges.  The dict is JSON-serialisable, so it can ride along in run
+        artifacts (:meth:`repro.api.Session.stats` embeds it).
+        """
+        return {
+            "num_shards": self.num_shards,
+            "num_workers": self.num_workers,
+            "active_flows": self.active_flows,
+            "evicted_flows": self.evicted_flows,
+            "cross_segment_matches": self.cross_segment_matches,
+            "shard_occupancy": self.shard_occupancy(),
+        }
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -39,6 +39,8 @@ class TrafficProfile:
     ascii_fraction: float = 0.7
 
     def __post_init__(self) -> None:
+        if self.mean_payload_bytes <= 0:
+            raise ValueError("mean_payload_bytes must be positive")
         if self.min_payload_bytes <= 0 or self.max_payload_bytes < self.min_payload_bytes:
             raise ValueError("invalid payload size bounds")
         if not 0.0 <= self.attack_probability <= 1.0:
@@ -172,6 +174,9 @@ class TrafficGenerator:
         """
         if num_packets < 1:
             raise ValueError("num_packets must be at least 1")
+        if segment_bytes is not None and segment_bytes < 1:
+            # 0 must not silently fall back to the profile's random size
+            raise ValueError("segment_bytes must be at least 1")
         if split_segments not in (2, 3):
             raise ValueError("split_segments must be 2 or 3")
         if split_patterns > 0 and num_packets < split_segments:
@@ -223,7 +228,11 @@ class TrafficGenerator:
 
         # 2. background bytes for every segment
         payloads = [
-            bytearray(self._background_bytes(segment_bytes or self._payload_size()))
+            bytearray(
+                self._background_bytes(
+                    segment_bytes if segment_bytes is not None else self._payload_size()
+                )
+            )
             for _ in range(num_packets)
         ]
         per_packet_sids: List[List[int]] = [[] for _ in range(num_packets)]

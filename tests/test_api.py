@@ -1,0 +1,442 @@
+"""The declarative pipeline API: equivalence, round-trips, checkpoints.
+
+The headline contract: for the same configuration, :class:`repro.api.Session`
+produces **byte-identical** output — events, shard reports, alerts — to the
+direct composition of :class:`ScanService` / :class:`ParallelScanService` /
+the replay adapters, across {dtp, dense} × {serial, workers=2} ×
+{in-memory, pcap}.  The facade adds configuration, never behaviour.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ConfigError,
+    ContentRule,
+    EmptyRulesetError,
+    EngineSpec,
+    PipelineConfig,
+    RulesSpec,
+    Session,
+    SinkSpec,
+    SourceSpec,
+    load_config,
+    repro_version,
+    sink_kinds,
+    source_kinds,
+)
+from repro.backend import get_backend
+from repro.capture import load_packets, replay_scan
+from repro.core import compile_ruleset
+from repro.fpga import STRATIX_III
+from repro.ids import IntrusionDetectionSystem
+from repro.rulesets import generate_snort_like_ruleset
+from repro.streaming import ParallelScanService, ScanService
+from repro.traffic import TrafficGenerator
+
+SIZE, SEED = 40, 5
+SHARDS = 2
+FLOW_CAPACITY = 4096
+
+BACKENDS = ("dtp", "dense")
+WORKER_COUNTS = (None, 2)
+
+
+def build_ruleset():
+    return generate_snort_like_ruleset(SIZE, seed=SEED)
+
+
+def build_program(ruleset, backend):
+    if backend == "dtp":
+        return compile_ruleset(ruleset, STRATIX_III)
+    return get_backend(backend).compile(ruleset.patterns)
+
+
+def build_packets(ruleset):
+    generator = TrafficGenerator(ruleset, seed=SEED + 1)
+    flows = generator.flows(6, num_packets=3, split_patterns=1)
+    return TrafficGenerator.interleave(flows)
+
+
+def make_service(program, workers):
+    if workers is None:
+        return ScanService(
+            program, num_shards=SHARDS, flow_capacity_per_shard=FLOW_CAPACITY
+        )
+    return ParallelScanService(
+        program,
+        num_shards=SHARDS,
+        flow_capacity_per_shard=FLOW_CAPACITY,
+        workers=workers,
+    )
+
+
+def generator_source():
+    return SourceSpec(
+        kind="generator", flows=6, packets_per_flow=3, split_patterns=1, seed=SEED + 1
+    )
+
+
+def stream_config(source, backend, workers, sinks=()):
+    return PipelineConfig(
+        mode="stream",
+        source=source,
+        rules=RulesSpec(kind="synthetic", size=SIZE, seed=SEED),
+        engine=EngineSpec(
+            backend=backend, shards=SHARDS, workers=workers,
+            flow_capacity=FLOW_CAPACITY,
+        ),
+        sinks=sinks,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload_pcap(tmp_path_factory):
+    """The generator workload exported as a classic pcap capture."""
+    path = tmp_path_factory.mktemp("api") / "workload.pcap"
+    TrafficGenerator.export_pcap(str(path), build_packets(build_ruleset()))
+    return path
+
+
+# ----------------------------------------------------------------------
+# equivalence: Session output == direct composition
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_stream_session_matches_direct_composition(backend, workers):
+    ruleset = build_ruleset()
+    program = build_program(ruleset, backend)
+    packets = build_packets(ruleset)
+    with make_service(program, workers) as service:
+        direct = service.scan(packets)
+
+    with Session.from_config(stream_config(generator_source(), backend, workers)) as s:
+        via_session = s.run().scan_result
+
+    assert via_session.events == direct.events
+    assert via_session.shards == direct.shards
+    assert via_session.packets == direct.packets
+    assert via_session.bytes_scanned == direct.bytes_scanned
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_pcap_session_matches_direct_replay(backend, workers, workload_pcap):
+    ruleset = build_ruleset()
+    program = build_program(ruleset, backend)
+    with make_service(program, workers) as service:
+        direct = replay_scan(str(workload_pcap), service)
+
+    config = stream_config(
+        SourceSpec(kind="pcap", path=str(workload_pcap)), backend, workers
+    )
+    with Session.from_config(config) as s:
+        via_session = s.scan()
+
+    assert via_session.events == direct.events
+    assert via_session.shards == direct.shards
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_ids_session_matches_direct_pipeline(backend, workers):
+    ruleset = build_ruleset()
+    packets = build_packets(ruleset)
+    with IntrusionDetectionSystem.from_ruleset(
+        ruleset, backend=backend, workers=workers
+    ) as ids:
+        direct = ids.scan_flow(packets)
+        direct_stats = ids.stats
+
+    config = PipelineConfig(
+        mode="ids",
+        source=generator_source(),
+        rules=RulesSpec(kind="synthetic", size=SIZE, seed=SEED),
+        engine=EngineSpec(backend=backend, workers=workers),
+    )
+    with Session.from_config(config) as s:
+        run = s.run()
+        assert run.alerts == direct
+        assert s.ids.stats == direct_stats
+
+
+def test_packets_mode_matches_stateless_scan():
+    ruleset = build_ruleset()
+    program = build_program(ruleset, "dense")
+    generator = TrafficGenerator(ruleset, seed=SEED + 1)
+    packets = generator.packets(12)
+    direct = program.scan_packets([p.payload for p in packets])
+
+    config = PipelineConfig(
+        mode="packets",
+        source=SourceSpec(kind="packets", packets=tuple(packets)),
+        rules=RulesSpec(kind="synthetic", size=SIZE, seed=SEED),
+        engine=EngineSpec(backend="dense"),
+    )
+    with Session.from_config(config) as s:
+        run = s.run()
+    assert run.per_packet == direct
+    assert [(e.packet_id, e.end_offset, e.string_number) for e in run.events] == [
+        (packet.packet_id, offset, number)
+        for packet, matches in zip(packets, direct)
+        for offset, number in matches
+    ]
+
+
+# ----------------------------------------------------------------------
+# checkpoint/restore through the facade
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_session_checkpoints_interchange_with_raw_service(backend, workers):
+    """Session checkpoints are the raw service envelope, both directions."""
+    ruleset = build_ruleset()
+    program = build_program(ruleset, backend)
+    packets = build_packets(ruleset)
+    half = len(packets) // 2
+    first, second = packets[:half], packets[half:]
+
+    config = stream_config(
+        SourceSpec(kind="packets", packets=tuple(packets)), backend, workers
+    )
+    with Session.from_config(config) as session:
+        session.scan(first)
+        session_checkpoint = session.checkpoint()
+
+        with make_service(program, workers) as raw:
+            raw.scan(first)
+            raw_checkpoint = raw.checkpoint()
+            assert session_checkpoint == raw_checkpoint
+
+        # a JSON round-tripped session checkpoint restores into a raw service
+        revived = json.loads(json.dumps(session_checkpoint))
+        serial_events = session.scan(second).events
+        with ScanService(
+            program, num_shards=SHARDS, flow_capacity_per_shard=FLOW_CAPACITY
+        ) as raw2:
+            raw2.restore(revived)
+            assert raw2.scan(second).events == serial_events
+
+    # ...and a raw checkpoint restores into a fresh session
+    with Session.from_config(config) as fresh:
+        fresh.restore(raw_checkpoint)
+        assert fresh.scan(second).events == serial_events
+
+
+def test_checkpoint_requires_stream_mode():
+    config = PipelineConfig(
+        mode="ids",
+        source=generator_source(),
+        rules=RulesSpec(kind="synthetic", size=SIZE, seed=SEED),
+        engine=EngineSpec(backend="dense"),
+    )
+    with Session.from_config(config) as session:
+        with pytest.raises(ValueError, match="stream-mode"):
+            session.checkpoint()
+        with pytest.raises(ValueError, match="stream-mode"):
+            session.restore({})
+
+
+# ----------------------------------------------------------------------
+# config round-trips and file loading
+# ----------------------------------------------------------------------
+def test_config_round_trips_through_dict():
+    config = stream_config(
+        generator_source(), "dense", 2,
+        sinks=(SinkSpec(kind="events"), SinkSpec(kind="ndjson", path="out.ndjson")),
+    )
+    data = config.to_dict()
+    assert data["version"] == repro_version()
+    revived = PipelineConfig.from_dict(json.loads(json.dumps(data)))
+    assert revived == config
+    assert revived.to_dict() == data
+
+
+def test_in_memory_packets_survive_serialisation():
+    ruleset = build_ruleset()
+    packets = build_packets(ruleset)
+    config = stream_config(
+        SourceSpec(kind="packets", packets=tuple(packets)), "dense", None
+    )
+    revived = PipelineConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+    with Session.from_config(config) as a, Session.from_config(revived) as b:
+        assert a.run().events == b.run().events
+
+
+def test_run_cli_executes_json_and_toml_configs(tmp_path, capsys):
+    from repro.cli import main
+
+    body = {
+        "mode": "stream",
+        "source": {"kind": "generator", "flows": 4, "packets_per_flow": 3,
+                   "split_patterns": 1, "seed": 7},
+        "rules": {"kind": "synthetic", "size": SIZE, "seed": SEED},
+        "engine": {"backend": "dense", "shards": 2},
+        "sinks": [{"kind": "ndjson", "path": "events.ndjson"}],
+    }
+    json_path = tmp_path / "pipe.json"
+    json_path.write_text(json.dumps(body), encoding="utf-8")
+    assert main(["run", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "mode                  : stream" in out
+    assert (tmp_path / "events.ndjson").exists()
+
+    toml_path = tmp_path / "pipe.toml"
+    toml_path.write_text(
+        "\n".join(
+            [
+                'mode = "stream"',
+                "[source]",
+                'kind = "generator"',
+                "flows = 4",
+                "packets_per_flow = 3",
+                "split_patterns = 1",
+                "seed = 7",
+                "[rules]",
+                'kind = "synthetic"',
+                f"size = {SIZE}",
+                f"seed = {SEED}",
+                "[engine]",
+                'backend = "dense"',
+                "shards = 2",
+                "[[sinks]]",
+                'kind = "ndjson"',
+                'path = "events_toml.ndjson"',
+            ]
+        ),
+        encoding="utf-8",
+    )
+    assert main(["run", str(toml_path)]) == 0
+    capsys.readouterr()
+    json_lines = (tmp_path / "events.ndjson").read_text(encoding="utf-8")
+    toml_lines = (tmp_path / "events_toml.ndjson").read_text(encoding="utf-8")
+    assert json_lines == toml_lines  # same config, same artifact
+    assert json_lines.count("\n") > 0
+
+
+def test_relative_paths_resolve_against_config_dir(tmp_path):
+    rules = tmp_path / "local.rules"
+    rules.write_text(
+        'alert tcp any any -> any any (msg:"m"; content:"GET /index.html"; sid:10;)\n'
+    )
+    config_path = tmp_path / "pipe.json"
+    config_path.write_text(
+        json.dumps(
+            {
+                "mode": "stream",
+                "source": {"kind": "generator", "flows": 4, "packets_per_flow": 3,
+                           "split_patterns": 1, "seed": 7},
+                "rules": {"kind": "file", "path": "local.rules"},
+                "engine": {"backend": "dense", "shards": 2},
+            }
+        ),
+        encoding="utf-8",
+    )
+    config = load_config(config_path)
+    assert config.base_dir == str(tmp_path)
+    with Session.from_config(config) as session:
+        assert len(session.ruleset) == 1
+        session.run()
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+def test_ndjson_sink_records_events(tmp_path):
+    out = tmp_path / "events.ndjson"
+    config = stream_config(
+        generator_source(), "dense", None,
+        sinks=(SinkSpec(kind="ndjson", path=str(out)), SinkSpec(kind="events")),
+    )
+    with Session.from_config(config) as session:
+        run = session.run()
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == len(run.events)
+        assert run.sinks[1] == run.events
+        for record, event in zip(records, run.events):
+            assert record["packet"] == event.packet_id
+            assert record["offset"] == event.end_offset
+            assert record["sid"] == session.sid_of[event.string_number]
+            assert record["flow"] == list(event.flow.as_tuple())
+
+
+def test_pcap_sink_round_trips_the_workload(tmp_path):
+    out = tmp_path / "export.pcapng"
+    config = stream_config(
+        generator_source(), "dense", None,
+        sinks=(SinkSpec(kind="pcap", path=str(out)),),
+    )
+    with Session.from_config(config) as session:
+        run = session.run()
+        assert run.sinks[0]["fmt"] == "pcapng"
+        assert run.sinks[0]["frames"] == len(session.packets)
+        replayed, stats = load_packets(str(out))
+        assert stats.skipped_total == 0
+        assert [p.payload for p in replayed] == [p.payload for p in session.packets]
+
+
+# ----------------------------------------------------------------------
+# validation and registries
+# ----------------------------------------------------------------------
+def test_registries_list_builtin_kinds():
+    assert source_kinds() == ["generator", "packets", "pcap"]
+    assert sink_kinds() == ["alerts", "events", "ndjson", "pcap"]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: SourceSpec(kind="nope", count=1),
+        lambda: SourceSpec(kind="generator"),  # neither flows nor count
+        lambda: SourceSpec(kind="generator", flows=2, count=2),  # both
+        lambda: SourceSpec(kind="pcap"),  # no path
+        lambda: RulesSpec(kind="nope"),
+        lambda: RulesSpec(kind="file"),  # no path
+        lambda: RulesSpec(kind="specs"),  # no rules
+        lambda: EngineSpec(backend="nope"),
+        lambda: EngineSpec(device="nope"),
+        lambda: SinkSpec(kind="nope"),
+        lambda: SinkSpec(kind="ndjson"),  # no path
+        lambda: SinkSpec(kind="events", what="bogus"),
+        lambda: PipelineConfig(mode="nope", source=SourceSpec(kind="generator", count=1)),
+        lambda: PipelineConfig.from_dict({"source": {"kind": "generator", "count": 1},
+                                          "bogus": 1}),
+        lambda: PipelineConfig.from_dict({}),
+    ],
+)
+def test_malformed_configs_raise_config_error(factory):
+    with pytest.raises(ConfigError):
+        factory()
+
+
+def test_contentless_rules_file_raises_empty_ruleset(tmp_path):
+    rules = tmp_path / "empty.rules"
+    rules.write_text('alert tcp any any -> any any (msg:"no content"; sid:9;)\n')
+    config = PipelineConfig(
+        source=SourceSpec(kind="generator", flows=2, packets_per_flow=2, seed=1),
+        rules=RulesSpec(kind="file", path=str(rules)),
+        engine=EngineSpec(backend="dense"),
+    )
+    with Session.from_config(config) as session:
+        with pytest.raises(EmptyRulesetError, match="no content patterns"):
+            session.ruleset
+
+
+def test_explicit_specs_share_the_sid_allocator_policy():
+    config = PipelineConfig(
+        mode="stream",
+        source=SourceSpec(kind="packets", packets=()),
+        rules=RulesSpec(
+            kind="specs",
+            rules=(
+                ContentRule(content="first", sid=7),
+                ContentRule(content="second", sid=7),  # collision: first wins
+                ContentRule(content="third"),
+            ),
+        ),
+        engine=EngineSpec(backend="dense"),
+    )
+    with Session.from_config(config) as session:
+        assert session.ruleset.sids == [7, 1, 2]
+        assert session.sid_remap == {1: 7}

@@ -1,16 +1,33 @@
 """Tests for the command line interface."""
 
+import json
+import pathlib
+
 import pytest
 
+from repro.api import ConfigError, repro_version
+from repro.capture import CaptureError
 from repro.cli import build_parser, main
+from repro.rulesets import RuleParseError
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
     for command in ("generate-ruleset", "compile", "scan", "scan-stream",
-                    "table1", "table2", "table3", "fig6", "fig7", "fig8"):
+                    "run", "table1", "table2", "table3", "fig6", "fig7", "fig8"):
         assert command in text
+    # the epilog records the producing version next to the config-file story
+    assert f"version {repro_version()}" in text
+
+
+def test_version_flag_prints_package_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro-dpi {repro_version()}"
 
 
 def test_generate_ruleset_to_file(tmp_path, capsys):
@@ -210,6 +227,110 @@ def test_ids_pcap_command(capsys, workload_pcap):
     # the same 6 split-pattern alerts the in-memory ids run raises
     assert "alerts raised        : 6" in out
     assert out.count("packet=") == 6
+
+
+def test_sid_remap_counts_follow_the_engine_built(tmp_path, capsys, workload_pcap):
+    """ids counts per-rule reassignments, scan-pcap per-content (PR-4 idiom).
+
+    The two allocator passes must never share one remap record: the IDS
+    assigns one sid per *rule*, the ruleset one per unique *content*.
+    """
+    rules = tmp_path / "multi.rules"
+    rules.write_text(
+        'alert tcp any any -> any any (msg:"two"; content:"GET /index.html"; '
+        'content:"Host: example.com"; sid:7;)\n'
+        'alert tcp any any -> any any (msg:"collision"; content:"Accept: */*"; sid:7;)\n'
+    )
+    assert main(["ids", "--pcap", str(workload_pcap), "--rules", str(rules)]) == 0
+    out = capsys.readouterr().out
+    assert "rules loaded         : 2 (1 reassigned sids)" in out
+    assert main(["scan-pcap", str(workload_pcap), "--rules", str(rules),
+                 "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "rules loaded              : 3 (2 reassigned sids)" in out
+
+
+def test_scan_pcap_contentless_rules_errors_cleanly(tmp_path, capsys, workload_pcap):
+    rules = tmp_path / "local.rules"
+    rules.write_text('alert tcp any any -> any any (msg:"no content"; sid:9;)\n')
+    assert main(["scan-pcap", str(workload_pcap), "--rules", str(rules)]) == 1
+    assert "no content patterns" in capsys.readouterr().err
+
+
+def test_run_example_pipeline_config(tmp_path, capsys):
+    """The committed example config executes end to end (CI runs it too)."""
+    for name in ("pipeline_ids.json", "pipeline.rules"):
+        (tmp_path / name).write_text((EXAMPLES / name).read_text(encoding="utf-8"),
+                                     encoding="utf-8")
+    assert main(["run", str(tmp_path / "pipeline_ids.json")]) == 0
+    out = capsys.readouterr().out
+    assert "mode                  : ids" in out
+    assert "alerts raised         : 0" not in out  # the example must alert
+    sink = tmp_path / "pipeline_alerts.ndjson"
+    assert sink.exists()
+    records = [json.loads(line) for line in sink.read_text().splitlines()]
+    assert records and all({"packet", "sid", "msg", "action"} <= set(r) for r in records)
+
+
+# ----------------------------------------------------------------------
+# error idiom, locked per subcommand: bad input *values* raise their raw
+# ValueError-family tracebacks; empty-result / flag-combination errors
+# print to stderr and exit 1 (covered by the *_errors_cleanly tests above).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "argv, exception",
+    [
+        pytest.param(["scan", "--size", "20", "--seed", "2", "--packets", "-1"],
+                     ValueError, id="scan-negative-packets"),
+        pytest.param(["scan", "--size", "20", "--seed", "2", "--packets", "2",
+                      "--payload", "0"], ValueError, id="scan-zero-payload"),
+        pytest.param(["scan", "--size", "20", "--seed", "2", "--packets", "2",
+                      "--attack-rate", "1.5"], ValueError, id="scan-bad-attack-rate"),
+        pytest.param(["scan-stream", "--size", "20", "--seed", "2", "--flows", "2",
+                      "--shards", "0"], ValueError, id="scan-stream-zero-shards"),
+        pytest.param(["scan-stream", "--size", "20", "--seed", "2", "--flows", "2",
+                      "--workers", "0"], ValueError, id="scan-stream-zero-workers"),
+        pytest.param(["scan-stream", "--size", "20", "--seed", "2", "--flows", "2",
+                      "--flow-capacity", "0"], ValueError,
+                     id="scan-stream-zero-flow-capacity"),
+        pytest.param(["scan-stream", "--size", "20", "--seed", "2", "--flows", "2",
+                      "--segment-bytes", "0"], ValueError,
+                     id="scan-stream-zero-segment-bytes"),
+        pytest.param(["ids", "--size", "20", "--seed", "2", "--flows", "2",
+                      "--workers", "0"], ValueError, id="ids-zero-workers"),
+    ],
+)
+def test_bad_input_values_raise_raw_tracebacks(argv, exception):
+    with pytest.raises(exception):
+        main(argv)
+
+
+def test_scan_pcap_unparseable_rules_raise(tmp_path, workload_pcap):
+    rules = tmp_path / "bad.rules"
+    rules.write_text('alert tcp any any -> any any (content:"C:\\temp"; sid:1;)\n')
+    with pytest.raises(RuleParseError, match="undefined escape"):
+        main(["scan-pcap", str(workload_pcap), "--rules", str(rules)])
+
+
+def test_run_missing_config_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["run", str(tmp_path / "nope.json")])
+
+
+def test_run_malformed_config_raises_config_error(tmp_path):
+    config = tmp_path / "pipe.json"
+    config.write_text(json.dumps({
+        "source": {"kind": "generator", "count": 2},
+        "bogus_section": True,
+    }))
+    with pytest.raises(ConfigError, match="bogus_section"):
+        main(["run", str(config)])
+    config.write_text(json.dumps({
+        "source": {"kind": "generator", "count": 2},
+        "engine": {"backend": "not-a-backend"},
+    }))
+    with pytest.raises(ConfigError, match="not-a-backend"):
+        main(["run", str(config)])
 
 
 def test_table1_command(capsys):
