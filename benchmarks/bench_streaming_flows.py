@@ -7,16 +7,37 @@ sharded :class:`repro.streaming.ScanService`, sweeping the number of
 concurrent flows.  Reported per point: scan throughput, cross-segment
 detection rate, and flow-table behaviour — including an over-capacity point
 where LRU eviction kicks in.
+
+Standalone ``--smoke`` mode is the CI throughput-regression gate for the
+batched streaming hot path: it times the dense backend scanning the workload
+bare (``program.scan`` per segment, no flow state) and the full sharded
+:class:`ScanService` over the identical segments, writes
+``BENCH_streaming_smoke.json`` with the service-vs-raw-backend ratio, and
+exits non-zero if the service falls past a deliberately generous threshold —
+CI containers are noisy, so the gate only catches a real return of the
+per-packet-overhead regime, not run-to-run jitter.
+
+    PYTHONPATH=src python benchmarks/bench_streaming_flows.py --smoke
 """
 
+import argparse
+import json
+import pathlib
+import sys
 import time
+from typing import Dict, Optional, Sequence
 
 from repro.analysis import format_table
+from repro.backend import get_backend
 from repro.core import compile_ruleset
 from repro.fpga import STRATIX_III
 from repro.rulesets import generate_snort_like_ruleset
 from repro.streaming import ScanService, StreamScanner
 from repro.traffic import TrafficGenerator
+
+DEFAULT_SMOKE_OUTPUT = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_streaming_smoke.json"
+)
 
 BENCH_SEED = 2010
 RULESET_SIZE = 200
@@ -27,6 +48,112 @@ NUM_SHARDS = 4
 #: (concurrent flows, per-shard flow-table capacity); the last point forces
 #: LRU eviction by giving the table room for only half the flows.
 SWEEP = ((16, 4096), (64, 4096), (256, 4096), (512, 4096), (512, 64))
+
+SMOKE_RULESET_SIZE = 40
+SMOKE_FLOWS = 32
+SMOKE_SEGMENTS_PER_FLOW = 4
+SMOKE_SEGMENT_BYTES = 256
+SMOKE_REPEATS = 3
+#: service may be at most this many times slower than the raw backend before
+#: the smoke gate fails; the batched hot path sits near 1.0x, the old
+#: per-packet loop sat near 6x, so 3.0 has headroom for CI noise on both
+#: sides.
+SMOKE_MAX_RATIO = 3.0
+
+
+def run_smoke(repeats: int = SMOKE_REPEATS) -> Dict:
+    """Raw dense backend vs full ScanService on identical segments."""
+    ruleset = generate_snort_like_ruleset(SMOKE_RULESET_SIZE, seed=BENCH_SEED)
+    program = get_backend("dense").compile(ruleset.patterns)
+    generator = TrafficGenerator(ruleset, seed=BENCH_SEED + SMOKE_FLOWS)
+    flows = generator.flows(
+        SMOKE_FLOWS,
+        num_packets=SMOKE_SEGMENTS_PER_FLOW,
+        split_patterns=1,
+        segment_bytes=SMOKE_SEGMENT_BYTES,
+    )
+    packets = TrafficGenerator.interleave(flows)
+    payloads = [packet.payload for packet in packets]
+    payload_bytes = sum(len(payload) for payload in payloads)
+
+    raw_best = float("inf")
+    service_best = float("inf")
+    cross_segment = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for payload in payloads:
+            program.scan(payload)
+        raw_best = min(raw_best, time.perf_counter() - start)
+
+        service = ScanService(program, num_shards=NUM_SHARDS)
+        start = time.perf_counter()
+        service.scan(packets)
+        service_best = min(service_best, time.perf_counter() - start)
+        cross_segment = service.cross_segment_matches
+
+    raw_mb = payload_bytes / raw_best / 1e6
+    service_mb = payload_bytes / service_best / 1e6
+    ratio = raw_mb / service_mb
+    return {
+        "generated_by": "benchmarks/bench_streaming_flows.py --smoke",
+        "seed": BENCH_SEED,
+        "backend": "dense",
+        "ruleset_size": SMOKE_RULESET_SIZE,
+        "flows": SMOKE_FLOWS,
+        "segments_per_flow": SMOKE_SEGMENTS_PER_FLOW,
+        "segment_bytes": SMOKE_SEGMENT_BYTES,
+        "num_shards": NUM_SHARDS,
+        "repeats": repeats,
+        "payload_bytes": payload_bytes,
+        "cross_segment_matches": cross_segment,
+        "raw_backend_mb_per_s": raw_mb,
+        "service_mb_per_s": service_mb,
+        "service_vs_raw_backend_ratio": ratio,
+        "max_ratio": SMOKE_MAX_RATIO,
+        "within_threshold": ratio <= SMOKE_MAX_RATIO,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="hot-path regression smoke: raw backend vs service")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_SMOKE_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=SMOKE_REPEATS)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("the full sweep runs under pytest-benchmark; use --smoke here")
+
+    report = run_smoke(repeats=args.repeats)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"streaming hot-path smoke: raw {report['raw_backend_mb_per_s']:.2f} MB/s, "
+        f"service {report['service_mb_per_s']:.2f} MB/s, ratio "
+        f"{report['service_vs_raw_backend_ratio']:.2f}x "
+        f"(max {report['max_ratio']}x)"
+    )
+    print(f"wrote {args.output}")
+    if not report["within_threshold"]:
+        print("REGRESSION: service throughput fell past the hot-path threshold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_streaming_smoke_gate(results_dir):
+    """The CI gate's report must be structurally sound and within threshold
+    on a quiet machine; ratio near 1.0 is the batched hot path working."""
+    report = run_smoke()
+    path = results_dir / "BENCH_streaming_smoke.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    assert report["raw_backend_mb_per_s"] > 0
+    assert report["service_mb_per_s"] > 0
+    assert report["cross_segment_matches"] > 0
+    assert report["within_threshold"], (
+        f"service is {report['service_vs_raw_backend_ratio']:.2f}x slower than "
+        f"the raw backend (max {report['max_ratio']}x)"
+    )
 
 
 def test_streaming_flow_scaling(benchmark, write_result):
@@ -101,3 +228,7 @@ def test_streaming_flow_scaling(benchmark, write_result):
     # the over-capacity point must actually exercise LRU eviction
     assert by_key[(512, 64)]["evicted"] > 0
     assert by_key[(512, 64)]["active_flows"] <= NUM_SHARDS * 64
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,7 @@ class Session:
         self._ids = _UNSET
         self._hardware = _UNSET
         self._sid_of = _UNSET
+        self._payload_bytes = _UNSET
         # one remap dict per allocator pass: ruleset_from_specs assigns a sid
         # per *content*, IDS.from_specs one per *rule* — mixing their records
         # in one dict would mis-attribute reassignments (and over-count them)
@@ -287,6 +288,18 @@ class Session:
         return self._loaded_source.packets
 
     @property
+    def payload_bytes(self) -> int:
+        """Total payload bytes of the loaded source.
+
+        Cached like every other composed artefact: the source is immutable
+        once loaded, and benchmark drivers call :meth:`stats` per run — the
+        per-packet sum must not be repaid on every call.
+        """
+        if self._payload_bytes is _UNSET:
+            self._payload_bytes = sum(len(p.payload) for p in self.packets)
+        return self._payload_bytes
+
+    @property
     def flows(self) -> Optional[List]:
         """Generator ground truth (``None`` for non-generator sources)."""
         return self._loaded_source.flows
@@ -417,7 +430,7 @@ class Session:
         out: Dict[str, Any] = {"mode": self.config.mode}
         if self._source is not _UNSET:
             out["packets"] = len(self.packets)
-            out["payload_bytes"] = sum(len(p.payload) for p in self.packets)
+            out["payload_bytes"] = self.payload_bytes
             if self.flows is not None:
                 out["flows"] = len(self.flows)
             if self.capture_stats is not None:

@@ -149,6 +149,10 @@ class CompiledProgram(Protocol):
         self, states: Union[ScanState, Sequence[ScanState]], chunk: bytes
     ) -> Tuple[MatchList, Union[ScanState, FlowState]]: ...
 
+    def scan_chunk(
+        self, states: FlowState, chunk: bytes
+    ) -> Tuple[MatchList, FlowState]: ...
+
     def match(self, data: bytes) -> MatchList: ...
 
     def scan(self, data: bytes) -> MatchList: ...
@@ -194,6 +198,18 @@ class CompiledProgramMixin:
             return matches, next_state
         matches, next_states = self._scan_chunk(tuple(states), chunk)
         return matches, next_states
+
+    def scan_chunk(
+        self, states: FlowState, chunk: bytes
+    ) -> Tuple[MatchList, FlowState]:
+        """The hot-path form of :meth:`scan_from`: canonical tuple in and out.
+
+        Identical semantics, but without the bare-:class:`ScanState`
+        dispatch and defensive ``tuple(...)`` coercion — callers that already
+        hold the canonical per-flow tuple (the streaming layer does, for
+        every segment) must not pay for the convenience shims per call.
+        """
+        return self._scan_chunk(states, chunk)
 
     def scan(self, data: bytes) -> MatchList:
         """Scan one payload from a fresh state (alias of :meth:`match`)."""

@@ -43,15 +43,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..backend import CompiledProgram
 from ..traffic.packet import Packet
 from .flow import DEFAULT_FLOW_CAPACITY, FlowKey, FlowTable
-from .scanner import StreamMatch, StreamScanner
+from .scanner import BatchItem, Eviction, StreamMatch, StreamScanner
 from .service import ShardedScanServiceBase, ShardReport, StreamScanResult
 
-#: One batch item on the wire: ``(FlowKey, payload, packet_id)``.
-WireItem = Tuple[FlowKey, bytes, int]
-
-#: Per-batch eviction record: ``(position, FlowKey)`` — the flow evicted
-#: while the packet at ``position`` was being scanned.
-Eviction = Tuple[int, FlowKey]
+#: One batch item on the wire: ``(FlowKey, payload, packet_id)`` — the same
+#: shape :meth:`StreamScanner.scan_batch` consumes, so worker batches go
+#: straight from the pipe into the engine.
+WireItem = BatchItem
 
 
 def _pick_context(start_method: Optional[str]) -> multiprocessing.context.BaseContext:
@@ -91,20 +89,14 @@ def _shard_worker(
             engine = engines[shard]
             before_matches = engine.stats.matches
             before_evicted = engine.flows.stats.evicted
-            position = [0]
-            evictions: List[Eviction] = []
-            engine.flows.on_evict = lambda entry: evictions.append(
-                (position[0], entry.key)
-            )
-            per_item: List[List[StreamMatch]] = []
+            # The engine's batched hot path: same-flow segments are scanned
+            # as one backend crossing whenever the batch cannot evict, and
+            # the eviction records come back (item_index, key) — the exact
+            # shape the parent's scan_annotated re-indexes to arrival order.
+            per_item, evictions = engine.scan_batch(batch)
             batch_bytes = 0
-            try:
-                for index, (key, payload, packet_id) in enumerate(batch):
-                    position[0] = index
-                    per_item.append(engine.scan_segment(key, payload, packet_id))
-                    batch_bytes += len(payload)
-            finally:
-                engine.flows.on_evict = None
+            for item in batch:
+                batch_bytes += len(item[1])
             out[shard] = {
                 "events": per_item,
                 "report": (

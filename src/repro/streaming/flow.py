@@ -18,7 +18,7 @@ which is what makes checkpointing and migration across engines cheap.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..backend import ScanState
@@ -82,7 +82,6 @@ class FlowKey:
         return "|".join(str(part) for part in self.as_tuple()).encode()
 
 
-@dataclass
 class FlowEntry:
     """Everything remembered about one live flow between segments.
 
@@ -92,15 +91,47 @@ class FlowEntry:
     ``matched`` / ``matched_lower`` accumulate the global string numbers seen
     so far and ``alerted`` the rule sids already reported, so multi-content
     rules can complete across segments without duplicate alerts.
+
+    A ``__slots__`` record rather than a dataclass: one is created per live
+    flow and its fields are reassigned on every scanned segment, so the
+    streaming hot loop benefits from ``__dict__``-free attribute access.
     """
 
-    key: FlowKey
-    states: Tuple[ScanState, ...]
-    lower_states: Optional[Tuple[ScanState, ...]] = None
-    packets: int = 0
-    matched: Set[int] = field(default_factory=set)
-    matched_lower: Set[int] = field(default_factory=set)
-    alerted: Set[int] = field(default_factory=set)
+    __slots__ = (
+        "key",
+        "states",
+        "lower_states",
+        "packets",
+        "matched",
+        "matched_lower",
+        "alerted",
+    )
+
+    def __init__(
+        self,
+        key: FlowKey,
+        states: Tuple[ScanState, ...],
+        lower_states: Optional[Tuple[ScanState, ...]] = None,
+        packets: int = 0,
+        matched: Optional[Set[int]] = None,
+        matched_lower: Optional[Set[int]] = None,
+        alerted: Optional[Set[int]] = None,
+    ):
+        self.key = key
+        self.states = states
+        self.lower_states = lower_states
+        self.packets = packets
+        self.matched = set() if matched is None else matched
+        self.matched_lower = set() if matched_lower is None else matched_lower
+        self.alerted = set() if alerted is None else alerted
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowEntry(key={self.key!r}, states={self.states!r}, "
+            f"lower_states={self.lower_states!r}, packets={self.packets!r}, "
+            f"matched={self.matched!r}, matched_lower={self.matched_lower!r}, "
+            f"alerted={self.alerted!r})"
+        )
 
     @property
     def bytes_scanned(self) -> int:
@@ -196,6 +227,16 @@ class FlowTable:
         self.stats.hits += 1
         self._entries.move_to_end(key)
         return entry
+
+    def touch(self, key: FlowKey) -> None:
+        """Refresh ``key``'s recency without counting a lookup.
+
+        The batched fast path walks flows in grouped order and then replays
+        the per-segment recency sequence through here, so eviction order
+        stays identical to segment-at-a-time scanning.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
 
     def get_or_create(
         self, key: FlowKey, factory: Callable[[FlowKey], FlowEntry]

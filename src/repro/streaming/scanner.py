@@ -17,11 +17,23 @@ DFA, even Wu-Manber — multiplexes flows through the identical code path.
 Higher layers stack the sharded services on top of it; the declarative
 :class:`repro.api.Session` facade composes the whole column from one
 :class:`repro.api.PipelineConfig`.
+
+Hot path
+--------
+The sharded services feed whole shard batches through :meth:`scan_batch`,
+which concatenates consecutive same-flow segments and crosses into the
+backend once per flow instead of once per segment, then re-attributes the
+matches to their segments by offset.  The fast path is taken only when the
+batch provably cannot evict a flow; under eviction pressure the scanner
+falls back to the exact per-segment loop, so events, statistics and LRU
+order are byte-identical either way (the differential harness in the test
+suite holds it to that).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backend import CompiledProgram
@@ -32,8 +44,15 @@ from .flow import DEFAULT_FLOW_CAPACITY, FlowEntry, FlowKey, FlowTable
 #: anonymous flow so bare payload streams can still be scanned statefully).
 ANONYMOUS_FLOW = FlowKey("0.0.0.0", "0.0.0.0", 0, 0, "raw")
 
+#: One batch item: ``(FlowKey, payload, packet_id)`` — the executor's wire
+#: format, shared by :meth:`StreamScanner.scan_batch`.
+BatchItem = Tuple[FlowKey, bytes, int]
 
-@dataclass(frozen=True)
+#: Per-batch eviction record: ``(item_index, FlowKey)`` — the flow evicted
+#: while the batch item at ``item_index`` was being scanned.
+Eviction = Tuple[int, FlowKey]
+
+
 class StreamMatch:
     """A match found while scanning a flow segment.
 
@@ -41,13 +60,46 @@ class StreamMatch:
     *flow's* byte stream (not the segment), so a cross-segment match reports
     an offset beyond the current segment's start.  ``lowered`` marks hits
     found in the lower-cased view of the stream (case-insensitive scanning).
+
+    A ``__slots__`` record rather than a dataclass: the streaming hot loop
+    creates one per match event, and slot instances allocate without a
+    per-instance ``__dict__``.  Equality, hashing and repr keep the frozen
+    dataclass semantics the rest of the suite was written against.
     """
 
-    flow: FlowKey
-    packet_id: int
-    end_offset: int
-    string_number: int
-    lowered: bool = False
+    __slots__ = ("flow", "packet_id", "end_offset", "string_number", "lowered")
+
+    def __init__(
+        self,
+        flow: FlowKey,
+        packet_id: int,
+        end_offset: int,
+        string_number: int,
+        lowered: bool = False,
+    ):
+        self.flow = flow
+        self.packet_id = packet_id
+        self.end_offset = end_offset
+        self.string_number = string_number
+        self.lowered = lowered
+
+    def _key(self) -> Tuple[FlowKey, int, int, int, bool]:
+        return (self.flow, self.packet_id, self.end_offset, self.string_number, self.lowered)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamMatch):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamMatch(flow={self.flow!r}, packet_id={self.packet_id!r}, "
+            f"end_offset={self.end_offset!r}, string_number={self.string_number!r}, "
+            f"lowered={self.lowered!r})"
+        )
 
 
 @dataclass
@@ -81,6 +133,10 @@ class StreamScanner:
         self._pattern_length = {
             index: len(pattern) for index, pattern in enumerate(program.patterns)
         }
+        # The canonical tuple-in/tuple-out fast call; programs predating
+        # scan_chunk (or wrappers like HardwareAccelerator) fall back to the
+        # coercing scan_from, which is semantically identical.
+        self._scan = getattr(program, "scan_chunk", program.scan_from)
 
     # ------------------------------------------------------------------
     def _new_entry(self, key: FlowKey) -> FlowEntry:
@@ -112,10 +168,9 @@ class StreamScanner:
         entry = self.flows.get_or_create(key, self._new_entry)
         segment_start = entry.bytes_scanned
 
-        raw, entry.states = self.program.scan_from(entry.states, payload)
+        raw, entry.states = self._scan(entry.states, payload)
         matches = [
-            StreamMatch(flow=key, packet_id=packet_id, end_offset=offset, string_number=number)
-            for offset, number in raw
+            StreamMatch(key, packet_id, offset, number) for offset, number in raw
         ]
         entry.matched.update(number for _, number in raw)
 
@@ -129,7 +184,7 @@ class StreamScanner:
                 entry.lower_states = self.program.initial_scan_states(
                     offset=segment_start
                 )
-            lowered, entry.lower_states = self.program.scan_from(
+            lowered, entry.lower_states = self._scan(
                 entry.lower_states, payload.lower()
             )
             # an occurrence that is already lower-case matches in both views;
@@ -137,13 +192,7 @@ class StreamScanner:
             raw_hits = set(raw)
             lowered = [hit for hit in lowered if hit not in raw_hits]
             matches.extend(
-                StreamMatch(
-                    flow=key,
-                    packet_id=packet_id,
-                    end_offset=offset,
-                    string_number=number,
-                    lowered=True,
-                )
+                StreamMatch(key, packet_id, offset, number, True)
                 for offset, number in lowered
             )
             entry.matched_lower.update(number for _, number in lowered)
@@ -166,6 +215,181 @@ class StreamScanner:
         return matches
 
     # ------------------------------------------------------------------
+    # batched scanning (the services' hot path)
+    # ------------------------------------------------------------------
+    def scan_batch(
+        self, items: Sequence[BatchItem]
+    ) -> Tuple[List[List[StreamMatch]], List[Eviction]]:
+        """Scan one shard batch of ``(key, payload, packet_id)`` segments.
+
+        Returns ``(per_item, evictions)``: ``per_item[i]`` is exactly the
+        event list :meth:`scan_segment` would have returned for ``items[i]``,
+        and ``evictions`` records ``(item_index, key)`` for every flow
+        LRU-evicted while item ``item_index`` was being scanned.
+
+        Fast path: when the batch provably cannot evict (live flows plus this
+        batch's new flows fit the table), each flow's segments are
+        concatenated and cross into the backend as one chunk; matches are
+        re-attributed to segments by their flow-absolute end offset and LRU
+        recency is replayed in per-segment order afterwards.  Any batch that
+        could evict takes the exact per-segment loop instead, because
+        eviction timing (and hence restart state) depends on the segment
+        interleaving the fast path collapses.  Events, statistics and final
+        table state are identical on both paths.
+        """
+        flows = self.flows
+        groups: Dict[FlowKey, List[int]] = {}
+        for index, item in enumerate(items):
+            key = item[0]
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [index]
+            else:
+                group.append(index)
+
+        new_flows = sum(1 for key in groups if key not in flows)
+        if len(flows) + new_flows > flows.capacity:
+            return self._scan_batch_per_segment(items)
+
+        per_item: List[List[StreamMatch]] = [[] for _ in items]
+        stats = self.stats
+        table_stats = flows.stats
+        pattern_length = self._pattern_length
+        scan = self._scan
+        for key, indexes in groups.items():
+            entry = flows.lookup(key)
+            if entry is None:
+                entry = self._new_entry(key)
+                flows.insert(entry)
+            # Emulate the per-segment bookkeeping the collapsed lookups would
+            # have done: each of the k segments performs one lookup, and all
+            # but the creating miss (if any) hit.
+            extra = len(indexes) - 1
+            table_stats.lookups += extra
+            table_stats.hits += extra
+            entry.packets += len(indexes)
+
+            if extra == 0:
+                # single segment: nothing to concatenate
+                index = indexes[0]
+                _, payload, packet_id = items[index]
+                events = self._scan_entry(entry, key, payload, packet_id)
+                per_item[index] = events
+                stats.segments += 1
+                stats.bytes_scanned += len(payload)
+                stats.matches += len(events)
+                segment_start = entry.bytes_scanned - len(payload)
+                for event in events:
+                    if event.end_offset - pattern_length[event.string_number] < segment_start:
+                        stats.cross_segment_matches += 1
+                continue
+
+            payloads = [items[index][1] for index in indexes]
+            joined = b"".join(payloads)
+            base = entry.bytes_scanned
+            # boundaries[j] = flow-absolute end offset of segment j; a match
+            # with end offset o belongs to the segment with the smallest
+            # boundary >= o (its final byte is at o - 1 < boundaries[j]).
+            boundaries: List[int] = []
+            acc = base
+            for payload in payloads:
+                acc += len(payload)
+                boundaries.append(acc)
+
+            raw, entry.states = scan(entry.states, joined)
+            seg_events: List[List[StreamMatch]] = [[] for _ in indexes]
+            for offset, number in raw:
+                j = bisect_left(boundaries, offset)
+                seg_events[j].append(
+                    StreamMatch(key, items[indexes[j]][2], offset, number)
+                )
+            entry.matched.update(number for _, number in raw)
+
+            if self.track_nocase:
+                if entry.lower_states is None:
+                    entry.lower_states = self.program.initial_scan_states(
+                        offset=base
+                    )
+                lowered, entry.lower_states = scan(
+                    entry.lower_states, joined.lower()
+                )
+                raw_hits = set(raw)
+                lowered = [hit for hit in lowered if hit not in raw_hits]
+                for offset, number in lowered:
+                    j = bisect_left(boundaries, offset)
+                    seg_events[j].append(
+                        StreamMatch(key, items[indexes[j]][2], offset, number, True)
+                    )
+                entry.matched_lower.update(number for _, number in lowered)
+
+            stats.segments += len(indexes)
+            stats.bytes_scanned += len(joined)
+            for j, events in enumerate(seg_events):
+                stats.matches += len(events)
+                segment_start = boundaries[j] - len(payloads[j])
+                for event in events:
+                    if event.end_offset - pattern_length[event.string_number] < segment_start:
+                        stats.cross_segment_matches += 1
+                per_item[indexes[j]] = events
+
+        # Replay LRU recency in per-segment order: the grouped walk touched
+        # each flow at its *first* arrival, but per-segment scanning leaves
+        # flows ordered by their *last* segment in the batch.
+        for key in sorted(groups, key=lambda flow: groups[flow][-1]):
+            flows.touch(key)
+        return per_item, []
+
+    def _scan_entry(
+        self, entry: FlowEntry, key: FlowKey, payload: bytes, packet_id: int
+    ) -> List[StreamMatch]:
+        """One segment's backend crossing + event building (no table or
+        scanner statistics — :meth:`scan_batch` accounts for those)."""
+        raw, entry.states = self._scan(entry.states, payload)
+        matches = [
+            StreamMatch(key, packet_id, offset, number) for offset, number in raw
+        ]
+        entry.matched.update(number for _, number in raw)
+        if self.track_nocase:
+            if entry.lower_states is None:
+                entry.lower_states = self.program.initial_scan_states(
+                    offset=entry.bytes_scanned - len(payload)
+                )
+            lowered, entry.lower_states = self._scan(
+                entry.lower_states, payload.lower()
+            )
+            raw_hits = set(raw)
+            lowered = [hit for hit in lowered if hit not in raw_hits]
+            matches.extend(
+                StreamMatch(key, packet_id, offset, number, True)
+                for offset, number in lowered
+            )
+            entry.matched_lower.update(number for _, number in lowered)
+        return matches
+
+    def _scan_batch_per_segment(
+        self, items: Sequence[BatchItem]
+    ) -> Tuple[List[List[StreamMatch]], List[Eviction]]:
+        """The exact slow path: per-segment scanning with eviction records."""
+        per_item: List[List[StreamMatch]] = []
+        evictions: List[Eviction] = []
+        flows = self.flows
+        previous = flows.on_evict
+        position = 0
+
+        def record(entry: FlowEntry) -> None:
+            evictions.append((position, entry.key))
+            if previous is not None:
+                previous(entry)
+
+        flows.on_evict = record
+        try:
+            for position, (key, payload, packet_id) in enumerate(items):
+                per_item.append(self.scan_segment(key, payload, packet_id))
+        finally:
+            flows.on_evict = previous
+        return per_item, evictions
+
+    # ------------------------------------------------------------------
     def close_flow(self, key: FlowKey) -> Optional[FlowEntry]:
         """Forget a finished flow and return its final entry, if tracked."""
         return self.flows.remove(key)
@@ -177,6 +401,8 @@ class StreamScanner:
 
 __all__ = [
     "ANONYMOUS_FLOW",
+    "BatchItem",
+    "Eviction",
     "ScannerStatistics",
     "StreamMatch",
     "StreamScanner",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backend import CompiledProgram
@@ -62,9 +63,14 @@ class StreamScanResult:
         return grouped
 
 
+#: The canonical event sort key as a C-level attribute getter (the aggregate
+#: sort is on the hot path; ``attrgetter`` avoids a Python frame per event).
+_EVENT_ORDER = attrgetter("packet_id", "end_offset", "string_number")
+
+
 def event_order(event: StreamMatch) -> Tuple[int, int, int]:
     """The canonical event ordering every service reports in."""
-    return (event.packet_id, event.end_offset, event.string_number)
+    return _EVENT_ORDER(event)
 
 
 class ShardedScanServiceBase:
@@ -105,9 +111,21 @@ class ShardedScanServiceBase:
         is what keeps cross-segment state consistent.
         """
         batches: Dict[int, List[Tuple[int, FlowKey, Packet]]] = {}
+        # Flows repeat within a batch, so the FlowKey construction and CRC32
+        # shard hash are memoised on the (hashable) wire header.
+        cache: Dict[Optional[object], Tuple[FlowKey, int]] = {}
         for index, packet in enumerate(packets):
-            key = StreamScanner.flow_key(packet)
-            batches.setdefault(self.shard_for(key), []).append((index, key, packet))
+            header = packet.header
+            cached = cache.get(header)
+            if cached is None:
+                key = StreamScanner.flow_key(packet)
+                cached = (key, self.shard_for(key))
+                cache[header] = cached
+            key, shard = cached
+            batch = batches.get(shard)
+            if batch is None:
+                batch = batches[shard] = []
+            batch.append((index, key, packet))
         return batches
 
     def _aggregate(
@@ -123,7 +141,7 @@ class ShardedScanServiceBase:
         ties and both service front-ends must feed the identical order for
         their reports to be byte-identical.
         """
-        events.sort(key=event_order)
+        events.sort(key=_EVENT_ORDER)
         return StreamScanResult(
             events=events,
             packets=num_packets,
@@ -209,18 +227,42 @@ class ScanService(ShardedScanServiceBase):
         )
 
     def scan(self, packets: Sequence[Packet]) -> StreamScanResult:
-        """Batched dispatch: group ``packets`` by shard, scan, aggregate."""
+        """Batched dispatch: group ``packets`` by shard, scan, aggregate.
+
+        Each shard's batch crosses into the engine once through
+        :meth:`StreamScanner.scan_batch` (the hot path that batches same-flow
+        segments before entering the backend); events come back per item in
+        arrival order, so the pre-sort order fed to :meth:`_aggregate` is
+        identical to segment-at-a-time scanning.
+        """
         batches = self._group_by_shard(packets)
         events: List[StreamMatch] = []
         shard_reports: List[ShardReport] = []
         for shard, engine in enumerate(self.engines):
-            batch = batches.get(shard, [])
+            batch = batches.get(shard)
+            if not batch:
+                shard_reports.append(
+                    ShardReport(
+                        shard=shard,
+                        packets=0,
+                        bytes_scanned=0,
+                        matches=0,
+                        active_flows=engine.active_flows,
+                        evicted_flows=0,
+                    )
+                )
+                continue
             before_matches = engine.stats.matches
             before_evicted = engine.flows.stats.evicted
+            items = [
+                (key, packet.payload, packet.packet_id) for _, key, packet in batch
+            ]
+            per_item, _ = engine.scan_batch(items)
             batch_bytes = 0
-            for _, key, packet in batch:
-                events.extend(engine.scan_segment(key, packet.payload, packet.packet_id))
-                batch_bytes += len(packet.payload)
+            for item in items:
+                batch_bytes += len(item[1])
+            for item_events in per_item:
+                events.extend(item_events)
             shard_reports.append(
                 ShardReport(
                     shard=shard,

@@ -1,20 +1,34 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and the differential-equivalence harness.
 
 Expensive artefacts (rulesets, compiled accelerator programs) are
 session-scoped so the suite stays fast; tests that need to mutate state build
 their own small instances.
+
+:func:`assert_equivalent_events` is the regression gate for every streaming
+optimisation: it scans one randomized workload through every requested
+{backend} × {serial, workers} × {in-memory, pcap-replay} combination and
+asserts the event streams, shard reports and service gauges are
+byte-identical.  The four scan-equivalence test families (backends, parallel
+executor, capture replay, pipeline API) all call it instead of hand-rolling
+their own comparison loops.
 """
 
 from __future__ import annotations
 
+import io
 import random
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import pytest
 
 from repro.automata import AhoCorasickDFA
+from repro.backend import get_backend
+from repro.capture import replay_scan, write_packets
 from repro.core import DTPAutomaton, compile_ruleset
 from repro.fpga import CYCLONE_III, STRATIX_III
 from repro.rulesets import RuleSet, generate_snort_like_ruleset
+from repro.streaming import ParallelScanService, ScanService
+from repro.traffic import Packet, TrafficGenerator
 
 #: The worked example of Figures 1 and 2.
 PAPER_EXAMPLE_PATTERNS = [b"he", b"she", b"his", b"hers"]
@@ -78,3 +92,169 @@ def text_with_patterns(rng: random.Random, patterns, length: int = 2000) -> byte
         offset = rng.randrange(0, length - len(pattern))
         data[offset:offset + len(pattern)] = pattern
     return bytes(data)
+
+
+# ----------------------------------------------------------------------
+# the differential-equivalence harness
+# ----------------------------------------------------------------------
+def renumbered(packets: Sequence[Packet]) -> List[Packet]:
+    """Packets re-id'd in arrival order — the id convention a replay uses
+    (ids are not on the wire, so capture order is the shared ground)."""
+    return [
+        Packet(p.payload, p.header, index, list(p.injected_sids))
+        for index, p in enumerate(packets)
+    ]
+
+
+def build_program(ruleset: RuleSet, backend: str):
+    """Compile ``ruleset`` for ``backend`` the way the pipeline API does:
+    ``dtp`` through the full device compiler, everything else bare."""
+    if backend == "dtp":
+        return compile_ruleset(ruleset, STRATIX_III)
+    return get_backend(backend).compile(ruleset.patterns)
+
+
+def equivalence_workload(
+    num_rules: int = 40,
+    flows: int = 6,
+    num_packets: int = 3,
+    seed: int = 5,
+    **flow_kwargs,
+) -> Tuple[RuleSet, List[Packet]]:
+    """One randomized ruleset plus interleaved boundary-split flows over it
+    (the canonical input to :func:`assert_equivalent_events`)."""
+    flow_kwargs.setdefault("split_patterns", 1)
+    ruleset = generate_snort_like_ruleset(num_rules, seed=seed)
+    generator = TrafficGenerator(ruleset, seed=seed + 1)
+    return ruleset, TrafficGenerator.interleave(
+        generator.flows(flows, num_packets=num_packets, **flow_kwargs)
+    )
+
+
+class EquivalenceReference:
+    """What :func:`assert_equivalent_events` proved everything equal *to*.
+
+    ``results`` holds the reference combination's ``StreamScanResult`` per
+    scanned batch (one entry unless ``batches > 1``); ``events`` flattens
+    their event lists; ``stats`` is the reference service's final gauge dict
+    (``num_workers`` removed, since it legitimately differs per front-end);
+    ``combinations`` counts how many configurations were compared.
+    """
+
+    def __init__(self, results, stats: Dict, combinations: int):
+        self.results = results
+        self.events = [event for result in results for event in result.events]
+        self.stats = stats
+        self.combinations = combinations
+
+    @property
+    def result(self):
+        """The single reference result (``batches == 1`` convenience)."""
+        (result,) = self.results
+        return result
+
+
+def _comparable_stats(stats: Dict) -> Dict:
+    stats = dict(stats)
+    stats.pop("num_workers", None)  # serial None vs parallel N, by design
+    return stats
+
+
+def assert_equivalent_events(
+    ruleset: RuleSet,
+    packets: Sequence[Packet],
+    *,
+    backends: Sequence[str] = ("dtp", "dense"),
+    worker_counts: Sequence[Optional[int]] = (None, 2),
+    sources: Sequence[str] = ("memory", "pcap"),
+    num_shards: int = 2,
+    flow_capacity: int = 4096,
+    track_nocase: bool = False,
+    batches: int = 1,
+    capture_fmt: str = "pcap",
+) -> EquivalenceReference:
+    """Differentially scan one workload through every requested combination.
+
+    Every ``backend`` × ``workers`` (``None`` = the serial
+    :class:`ScanService`) × ``source`` (``"memory"`` scans the packet list,
+    ``"pcap"`` replays it from an in-memory capture) must produce
+    byte-identical events, shard reports, batch totals and final service
+    gauges; the first combination is the reference and every other one is
+    asserted against it.  Returns the reference (see
+    :class:`EquivalenceReference`) so callers can pile on workload-specific
+    assertions — e.g. that the deliberately split patterns were actually
+    found.
+
+    ``batches > 1`` splits the packets into that many consecutive ``scan()``
+    calls, pinning state carry-over *between* batches; it is memory-source
+    only, because a capture replay is a single pass.  When ``"pcap"`` is
+    among the sources, packets are renumbered in arrival order first — the
+    id convention replay uses — so both sources report comparable events.
+    """
+    if batches > 1 and "pcap" in sources:
+        raise ValueError("batches > 1 is memory-source only (replay is one pass)")
+    packets = list(packets)
+    if "pcap" in sources:
+        packets = renumbered(packets)
+        buffer = io.BytesIO()
+        write_packets(buffer, packets, fmt=capture_fmt)
+        capture = buffer.getvalue()
+
+    split = max(1, (len(packets) + batches - 1) // batches)
+    chunks = [packets[i : i + split] for i in range(0, len(packets), split)]
+
+    def run(backend: str, program, workers: Optional[int], source: str):
+        if workers is None:
+            service = ScanService(
+                program,
+                num_shards=num_shards,
+                flow_capacity_per_shard=flow_capacity,
+                track_nocase=track_nocase,
+            )
+        else:
+            service = ParallelScanService(
+                program,
+                num_shards=num_shards,
+                flow_capacity_per_shard=flow_capacity,
+                track_nocase=track_nocase,
+                workers=workers,
+            )
+        with service:
+            if source == "memory":
+                results = [service.scan(chunk) for chunk in chunks]
+            else:
+                results = [replay_scan(io.BytesIO(capture), service)]
+            stats = service.stats()
+        return results, stats
+
+    reference: Optional[EquivalenceReference] = None
+    reference_label = None
+    combinations = 0
+    for backend in backends:
+        program = build_program(ruleset, backend)
+        for workers in worker_counts:
+            for source in sources:
+                label = f"backend={backend} workers={workers} source={source}"
+                results, stats = run(backend, program, workers, source)
+                combinations += 1
+                if reference is None:
+                    reference = EquivalenceReference(
+                        results, _comparable_stats(stats), combinations
+                    )
+                    reference_label = label
+                    continue
+                for got, want in zip(results, reference.results):
+                    assert got.events == want.events, (
+                        f"{label} events differ from {reference_label}"
+                    )
+                    assert got.shards == want.shards, (
+                        f"{label} shard reports differ from {reference_label}"
+                    )
+                    assert got.packets == want.packets
+                    assert got.bytes_scanned == want.bytes_scanned
+                assert _comparable_stats(stats) == reference.stats, (
+                    f"{label} service gauges differ from {reference_label}"
+                )
+    assert reference is not None, "no backend/worker/source combinations given"
+    reference.combinations = combinations
+    return reference

@@ -27,7 +27,7 @@ from repro.api import (
     source_kinds,
 )
 from repro.backend import get_backend
-from repro.capture import load_packets, replay_scan
+from repro.capture import load_packets
 from repro.core import compile_ruleset
 from repro.fpga import STRATIX_III
 from repro.ids import IntrusionDetectionSystem
@@ -105,11 +105,22 @@ def workload_pcap(tmp_path_factory):
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 def test_stream_session_matches_direct_composition(backend, workers):
+    """The facade must add configuration, never behaviour: its stream result
+    equals the reference the differential harness proves every direct
+    composition produces."""
+    from tests.conftest import assert_equivalent_events
+
     ruleset = build_ruleset()
-    program = build_program(ruleset, backend)
     packets = build_packets(ruleset)
-    with make_service(program, workers) as service:
-        direct = service.scan(packets)
+    direct = assert_equivalent_events(
+        ruleset,
+        packets,
+        backends=(backend,),
+        worker_counts=(workers,),
+        sources=("memory",),
+        num_shards=SHARDS,
+        flow_capacity=FLOW_CAPACITY,
+    ).result
 
     with Session.from_config(stream_config(generator_source(), backend, workers)) as s:
         via_session = s.run().scan_result
@@ -123,10 +134,20 @@ def test_stream_session_matches_direct_composition(backend, workers):
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 def test_pcap_session_matches_direct_replay(backend, workers, workload_pcap):
+    """Replay through a pcap-source Session equals the harness reference for
+    the same capture (which itself equals the in-memory scan)."""
+    from tests.conftest import assert_equivalent_events
+
     ruleset = build_ruleset()
-    program = build_program(ruleset, backend)
-    with make_service(program, workers) as service:
-        direct = replay_scan(str(workload_pcap), service)
+    direct = assert_equivalent_events(
+        ruleset,
+        build_packets(ruleset),
+        backends=(backend,),
+        worker_counts=(workers,),
+        sources=("memory", "pcap"),
+        num_shards=SHARDS,
+        flow_capacity=FLOW_CAPACITY,
+    ).result
 
     config = stream_config(
         SourceSpec(kind="pcap", path=str(workload_pcap)), backend, workers

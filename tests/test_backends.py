@@ -165,23 +165,22 @@ class TestScanState:
 class TestStreamingAcrossBackends:
     @pytest.mark.parametrize("name", ["dense", "ac", "wu-manber"])
     def test_stream_scanner_equals_dtp_on_split_flows(self, name):
+        from tests.conftest import assert_equivalent_events
+
         ruleset = generate_snort_like_ruleset(30, seed=6)
         flows = TrafficGenerator(ruleset, seed=7).flows(
             5, num_packets=3, split_patterns=1
         )
         packets = TrafficGenerator.interleave(flows)
-
-        def events_with(program):
-            service = ScanService(program, num_shards=2)
-            result = service.scan(packets)
-            return [
-                (e.flow, e.packet_id, e.end_offset, e.string_number)
-                for e in result.events
-            ]
-
-        reference = events_with(compile_ruleset(ruleset, STRATIX_III))
-        assert reference, "boundary-split flows should produce events"
-        assert events_with(get_backend(name).compile(ruleset.patterns)) == reference
+        reference = assert_equivalent_events(
+            ruleset,
+            packets,
+            backends=("dtp", name),
+            worker_counts=(None,),
+            sources=("memory",),
+            num_shards=2,
+        )
+        assert reference.events, "boundary-split flows should produce events"
 
     def test_wu_manber_flow_checkpoint_restores(self):
         """The tail carry buffer must survive the JSON flow-table checkpoint."""

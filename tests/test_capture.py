@@ -27,7 +27,6 @@ from repro.capture import (
     load_packets,
     read_capture,
     replay_ids,
-    replay_scan,
     replay_stream,
     write_packets,
     write_pcap,
@@ -38,18 +37,10 @@ from repro.fpga import STRATIX_III
 from repro.ids.classifier import HeaderPattern
 from repro.ids.pipeline import IDSRule, IntrusionDetectionSystem
 from repro.rulesets import generate_snort_like_ruleset
-from repro.streaming import ParallelScanService, ScanService, StreamScanner
+from repro.streaming import StreamScanner
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.packet import FiveTuple, Packet
-
-
-def renumbered(packets):
-    """Packets re-id'd in arrival order — the id convention a replay uses
-    (ids are not on the wire, so capture order is the shared ground)."""
-    return [
-        Packet(p.payload, p.header, index, list(p.injected_sids))
-        for index, p in enumerate(packets)
-    ]
+from tests.conftest import assert_equivalent_events, renumbered
 
 
 @pytest.fixture(scope="module")
@@ -325,29 +316,26 @@ class TestReplayEquivalence:
         assert replayed == in_memory
         assert len(replayed) > 0
 
-    @pytest.mark.parametrize("backend", BACKENDS)
-    def test_scan_service_events_identical(self, ruleset, workload, capture_bytes, backend):
+    @pytest.mark.parametrize("fmt", ["pcap", "pcapng"])
+    def test_service_events_identical_across_frontends_and_sources(
+        self, ruleset, workload, fmt
+    ):
+        """{dtp, dense} × {serial, workers=2} × {memory, replay} through the
+        shared differential harness, for both container formats."""
         flows, packets = workload
-        program = self._program(ruleset, backend)
-        in_memory = ScanService(program, num_shards=3).scan(renumbered(packets))
-        replayed = replay_scan(io.BytesIO(capture_bytes), ScanService(program, num_shards=3))
-        assert replayed.events == in_memory.events
-        assert replayed.shards == in_memory.shards
-        assert replayed.bytes_scanned == in_memory.bytes_scanned
+        reference = assert_equivalent_events(
+            ruleset,
+            packets,
+            backends=self.BACKENDS,
+            worker_counts=(None, 2),
+            sources=("memory", "pcap"),
+            num_shards=4,
+            capture_fmt=fmt,
+        )
         # every deliberately split pattern is found on the replay path too
         sid_of = {index: rule.sid for index, rule in enumerate(ruleset)}
-        streamed = {sid_of[event.string_number] for event in replayed.events}
+        streamed = {sid_of[event.string_number] for event in reference.events}
         assert {sid for flow in flows for sid in flow.split_sids} <= streamed
-
-    @pytest.mark.parametrize("backend", BACKENDS)
-    def test_parallel_service_events_identical(self, ruleset, workload, capture_bytes, backend):
-        _, packets = workload
-        program = self._program(ruleset, backend)
-        serial = ScanService(program, num_shards=4).scan(renumbered(packets))
-        with ParallelScanService(program, num_shards=4, workers=2) as service:
-            replayed = replay_scan(io.BytesIO(capture_bytes), service)
-        assert replayed.events == serial.events
-        assert replayed.shards == serial.shards
 
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("workers", [None, 2])

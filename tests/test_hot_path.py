@@ -1,0 +1,266 @@
+"""Property tests pinning the batched streaming hot path.
+
+The services now feed whole shard batches through
+:meth:`repro.streaming.StreamScanner.scan_batch`, which concatenates
+consecutive same-flow segments into one backend crossing.  These tests hold
+that fast path to the per-segment contract from three directions:
+
+* **boundary splits** — every pattern, split at every offset across 2 and 3
+  segment boundaries, must match identically one-shot vs streamed vs batched
+  (the ScanState tail-carry property under the new code path);
+* **statistics parity** — the batched path must report byte-identical
+  :class:`ScannerStatistics` and :class:`FlowTableStatistics` counters, and
+  leave the identical LRU recency order, as segment-at-a-time scanning;
+* **eviction pressure** — a batch that could evict must fall back to the
+  exact per-segment loop, producing the same events, eviction records and
+  restart behaviour the serial path shows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.backend import get_backend
+from repro.rulesets import RuleSet, generate_snort_like_ruleset
+from repro.streaming import FlowKey, FlowTable, ScanService, StreamScanner
+from repro.traffic import Packet, TrafficGenerator
+from tests.conftest import random_text
+
+BACKENDS = ("dense", "dtp")
+
+
+def make_key(n: int = 0) -> FlowKey:
+    return FlowKey(f"10.1.0.{n}", "192.168.9.9", 41000 + n, 80, "tcp")
+
+
+def make_header(n: int = 0):
+    from repro.traffic import FiveTuple
+
+    return FiveTuple(f"10.1.0.{n}", "192.168.9.9", 41000 + n, 80, "tcp")
+
+
+def segment_events(scanner: StreamScanner, key: FlowKey, segments):
+    events = []
+    for packet_id, segment in enumerate(segments):
+        events.extend(scanner.scan_segment(key, segment, packet_id))
+    return [(e.end_offset, e.string_number) for e in events]
+
+
+def batch_events(scanner: StreamScanner, key: FlowKey, segments):
+    per_item, evictions = scanner.scan_batch(
+        [(key, segment, packet_id) for packet_id, segment in enumerate(segments)]
+    )
+    assert evictions == []
+    return [(e.end_offset, e.string_number) for item in per_item for e in item]
+
+
+# ----------------------------------------------------------------------
+# every pattern, every split offset, 2 and 3 segments
+# ----------------------------------------------------------------------
+class TestBoundarySplits:
+    @pytest.fixture(scope="class", params=BACKENDS)
+    def compiled(self, request):
+        rng = __import__("random").Random(2026)
+        patterns = [rule.pattern for rule in generate_snort_like_ruleset(10, seed=33)]
+        patterns += [b"he", b"she", b"hers", b"aBcDeF"]
+        payloads = []
+        for pattern in patterns:
+            body = bytearray(random_text(rng, 8) + pattern + random_text(rng, 8))
+            payloads.append(bytes(body))
+        return get_backend(request.param).compile(patterns), payloads
+
+    def test_two_segment_split_at_every_offset(self, compiled):
+        program, payloads = compiled
+        for flow_n, payload in enumerate(payloads):
+            expected = program.scan(payload)
+            assert expected, "every payload embeds its pattern"
+            for cut in range(1, len(payload)):
+                segments = [payload[:cut], payload[cut:]]
+                for events_of in (segment_events, batch_events):
+                    scanner = StreamScanner(program)
+                    got = events_of(scanner, make_key(flow_n), segments)
+                    assert got == expected, (
+                        f"pattern #{flow_n} split at {cut} via {events_of.__name__}"
+                    )
+
+    def test_three_segment_splits_across_the_pattern(self, compiled):
+        """Both boundaries land inside the embedded pattern, the regime where
+        the tail-carry state does all the work."""
+        program, payloads = compiled
+        for flow_n, payload in enumerate(payloads):
+            expected = program.scan(payload)
+            lo, hi = 8, len(payload) - 8  # the embedded pattern's span
+            for first in range(lo + 1, hi):
+                for second in range(first + 1, hi):
+                    segments = [payload[:first], payload[first:second], payload[second:]]
+                    for events_of in (segment_events, batch_events):
+                        scanner = StreamScanner(program)
+                        got = events_of(scanner, make_key(flow_n), segments)
+                        assert got == expected, (
+                            f"pattern #{flow_n} split at ({first}, {second}) "
+                            f"via {events_of.__name__}"
+                        )
+
+
+# ----------------------------------------------------------------------
+# statistics parity: batched == per-segment, to the counter
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def drift_ruleset() -> RuleSet:
+    return generate_snort_like_ruleset(30, seed=91)
+
+
+@pytest.fixture(scope="module")
+def drift_workload(drift_ruleset):
+    generator = TrafficGenerator(drift_ruleset, seed=92)
+    flows = generator.flows(9, num_packets=5, split_patterns=1, segment_bytes=70)
+    return TrafficGenerator.interleave(flows)
+
+
+class TestStatisticsParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("track_nocase", (False, True))
+    def test_scanner_counters_and_lru_order_identical(
+        self, drift_ruleset, drift_workload, backend, track_nocase
+    ):
+        program = get_backend(backend).compile(drift_ruleset.patterns)
+        reference = StreamScanner(program, track_nocase=track_nocase)
+        batched = StreamScanner(program, track_nocase=track_nocase)
+
+        items = [
+            (StreamScanner.flow_key(p), p.payload, p.packet_id)
+            for p in drift_workload
+        ]
+        expected = [reference.scan_segment(*item) for item in items]
+        got, evictions = batched.scan_batch(items)
+
+        assert got == expected
+        assert evictions == []
+        assert dataclasses.asdict(batched.stats) == dataclasses.asdict(reference.stats)
+        assert dataclasses.asdict(batched.flows.stats) == dataclasses.asdict(
+            reference.flows.stats
+        )
+        # identical recency order → identical future eviction decisions
+        assert batched.flows.keys() == reference.flows.keys()
+        for key in reference.flows.keys():
+            ours, theirs = batched.flows.peek(key), reference.flows.peek(key)
+            assert ours.packets == theirs.packets
+            assert ours.states == theirs.states
+            assert ours.lower_states == theirs.lower_states
+            assert ours.matched == theirs.matched
+            assert ours.matched_lower == theirs.matched_lower
+
+    def test_service_stats_identical_to_per_packet_submit(
+        self, drift_ruleset, drift_workload
+    ):
+        """ScanService.scan (batched) vs submit() (per segment): same events,
+        same stats() dict — the drift the ISSUE names, locked shut."""
+        program = get_backend("dense").compile(drift_ruleset.patterns)
+        batched_service = ScanService(program, num_shards=3)
+        submit_service = ScanService(program, num_shards=3)
+
+        result = batched_service.scan(drift_workload)
+        submitted = []
+        for packet in drift_workload:
+            submitted.extend(submit_service.submit(packet))
+
+        assert sorted(
+            result.events, key=lambda e: (e.packet_id, e.end_offset, e.string_number)
+        ) == sorted(
+            submitted, key=lambda e: (e.packet_id, e.end_offset, e.string_number)
+        )
+        assert batched_service.stats() == submit_service.stats()
+        for ours, theirs in zip(batched_service.engines, submit_service.engines):
+            assert dataclasses.asdict(ours.stats) == dataclasses.asdict(theirs.stats)
+            assert dataclasses.asdict(ours.flows.stats) == dataclasses.asdict(
+                theirs.flows.stats
+            )
+
+
+# ----------------------------------------------------------------------
+# eviction pressure: exact fallback, exact records
+# ----------------------------------------------------------------------
+class TestEvictionPressure:
+    @staticmethod
+    def build_items(num_flows: int, segments: int):
+        rng = __import__("random").Random(17)
+        items = []
+        for seg in range(segments):
+            for flow in range(num_flows):
+                items.append((make_key(flow), random_text(rng, 40), seg))
+        return items
+
+    @pytest.mark.parametrize("capacity", (1, 2, 3))
+    def test_fallback_matches_per_segment_loop(self, drift_ruleset, capacity):
+        """Under eviction pressure scan_batch must behave exactly like the
+        old per-segment loop — events, counters, eviction records with the
+        per-item positions the IDS correlates on."""
+        program = get_backend("dense").compile(drift_ruleset.patterns)
+        items = self.build_items(num_flows=4, segments=3)
+
+        reference = StreamScanner(program, FlowTable(capacity))
+        expected_evictions = []
+        position = 0
+
+        def record(entry):
+            expected_evictions.append((position, entry.key))
+
+        reference.flows.on_evict = record
+        expected = []
+        for position, item in enumerate(items):
+            expected.append(reference.scan_segment(*item))
+        reference.flows.on_evict = None
+
+        batched = StreamScanner(program, FlowTable(capacity))
+        got, evictions = batched.scan_batch(items)
+
+        assert got == expected
+        assert evictions == expected_evictions
+        assert evictions, "the workload must actually evict"
+        assert dataclasses.asdict(batched.stats) == dataclasses.asdict(reference.stats)
+        assert dataclasses.asdict(batched.flows.stats) == dataclasses.asdict(
+            reference.flows.stats
+        )
+        assert batched.flows.keys() == reference.flows.keys()
+
+    def test_exactly_full_table_stays_on_the_fast_path(self, drift_ruleset):
+        """A batch that fills the table to exactly its capacity cannot evict
+        and must not fall back (no eviction records, same results)."""
+        program = get_backend("dense").compile(drift_ruleset.patterns)
+        items = self.build_items(num_flows=4, segments=2)
+        scanner = StreamScanner(program, FlowTable(capacity=4))
+        per_item, evictions = scanner.scan_batch(items)
+        assert evictions == []
+        assert scanner.flows.stats.evicted == 0
+        assert len(scanner.flows) == 4
+
+        # ...and the next batch introducing a fifth flow falls back and evicts
+        extra = [(make_key(9), b"overflow-segment", 0)]
+        _, second_evictions = scanner.scan_batch(extra)
+        assert second_evictions == [(0, make_key(0))]
+        assert scanner.flows.stats.evicted == 1
+
+    def test_service_level_eviction_equivalence(self, drift_ruleset):
+        """End to end: a capacity-1 sharded service reports identical events
+        and eviction counters whether batched or per-packet."""
+        program = get_backend("dense").compile(drift_ruleset.patterns)
+        packets = []
+        for seg in range(3):
+            for flow in range(5):
+                packets.append(
+                    Packet(
+                        payload=b"x" * 30 + bytes([65 + flow]) * 10,
+                        header=make_header(flow),
+                        packet_id=seg,
+                    )
+                )
+        batched = ScanService(program, num_shards=2, flow_capacity_per_shard=1)
+        per_packet = ScanService(program, num_shards=2, flow_capacity_per_shard=1)
+        result = batched.scan(packets)
+        for packet in packets:
+            per_packet.submit(packet)
+        assert batched.stats() == per_packet.stats()
+        assert batched.evicted_flows > 0
+        assert result.packets == len(packets)

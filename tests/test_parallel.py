@@ -152,29 +152,25 @@ class TestFlowTableAccounting:
 # tentpole: parallel/serial equivalence
 # ----------------------------------------------------------------------
 class TestParallelEquivalence:
-    @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_randomized_traffic_identical_events_and_reports(
-        self, small_program, small_ruleset, workers
-    ):
+    def test_randomized_traffic_identical_events_and_reports(self, small_ruleset):
+        """Serial vs every worker count, over two consecutive batches (state
+        must carry across scan() calls) — all through the shared harness."""
+        from tests.conftest import assert_equivalent_events
+
         generator = TrafficGenerator(small_ruleset, seed=47)
         flows = generator.flows(14, num_packets=4, split_patterns=1, segment_bytes=90)
         packets = TrafficGenerator.interleave(flows)
-        first, second = packets[: len(packets) // 2], packets[len(packets) // 2:]
-
-        serial = ScanService(small_program, num_shards=4)
-        with ParallelScanService(small_program, num_shards=4, workers=workers) as parallel:
-            # two consecutive batches: state must carry across scan() calls
-            for batch in (first, second):
-                result_serial = serial.scan(batch)
-                result_parallel = parallel.scan(batch)
-                assert result_parallel.events == result_serial.events
-                assert result_parallel.shards == result_serial.shards
-                assert result_parallel.packets == result_serial.packets
-                assert result_parallel.bytes_scanned == result_serial.bytes_scanned
-            assert parallel.active_flows == serial.active_flows
-            assert parallel.shard_occupancy() == serial.shard_occupancy()
-            assert parallel.cross_segment_matches == serial.cross_segment_matches
-            assert parallel.evicted_flows == serial.evicted_flows
+        reference = assert_equivalent_events(
+            small_ruleset,
+            packets,
+            backends=("dtp",),
+            worker_counts=(None,) + WORKER_COUNTS,
+            sources=("memory",),
+            num_shards=4,
+            batches=2,
+        )
+        assert reference.events, "boundary-split flows should produce events"
+        assert reference.stats["cross_segment_matches"] > 0
 
     def test_submit_matches_serial_submit(self, crafted_program, crafted_ruleset):
         pattern = crafted_ruleset[0].pattern
@@ -185,20 +181,24 @@ class TestParallelEquivalence:
                 packet = Packet(payload=payload, header=header, packet_id=packet_id)
                 assert parallel.submit(packet) == serial.submit(packet)
 
-    def test_nocase_events_identical(self, crafted_program):
+    def test_nocase_events_identical(self, crafted_ruleset):
+        from tests.conftest import assert_equivalent_events
+
         header = make_header(5)
         packets = [
             Packet(payload=b"xx LowerCase", header=header, packet_id=0),
             Packet(payload=b"Signature yy", header=header, packet_id=1),
         ]
-        serial = ScanService(crafted_program, num_shards=2, track_nocase=True)
-        with ParallelScanService(
-            crafted_program, num_shards=2, workers=2, track_nocase=True
-        ) as parallel:
-            result_serial = serial.scan(packets)
-            result_parallel = parallel.scan(packets)
-        assert result_parallel.events == result_serial.events
-        assert any(event.lowered for event in result_parallel.events)
+        reference = assert_equivalent_events(
+            crafted_ruleset,
+            packets,
+            backends=("dtp", "dense"),
+            worker_counts=(None, 2),
+            sources=("memory",),
+            num_shards=2,
+            track_nocase=True,
+        )
+        assert any(event.lowered for event in reference.events)
 
     @pytest.mark.parametrize("workers", (1, 2))
     def test_serial_checkpoint_restores_into_parallel(
