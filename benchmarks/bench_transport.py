@@ -1,0 +1,198 @@
+"""Shard transport A/B: shared-memory ring vs pickled-pipe payload carriage.
+
+The executor's ``probe_transport`` dispatches a packet list through the full
+data plane — flow-key interning, chunking, ring writes, worker-side reads —
+but the workers *drain* instead of scanning, so the measurement isolates the
+transport from the matcher.  Two services are probed with the same packets:
+
+* **shm** — the default geometry: every payload rides the shared-memory
+  ring, zero pickling either way;
+* **pipe** — ``ring_slot_bytes=1`` forces every payload down the spill
+  path, which pickles it into the control-pipe message exactly like the
+  pre-ring executor did.
+
+The headline is ``shm_vs_pipe_speedup`` in payload-bytes/sec; the recorded
+target is 3x.  ``cpu_count`` sits next to it because a 1-core container
+serialises the dispatcher against the draining workers and squeezes the
+gap — ``cpu_limited`` is set there so a regression gate can tell a slow
+transport from a small machine.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_transport.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_transport.py --smoke    # CI smoke
+
+or through pytest (smoke-sized, asserts the artifact structure and gate):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_transport.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.backend import get_backend
+from repro.rulesets import generate_snort_like_ruleset
+from repro.streaming import ParallelScanService
+from repro.traffic import TrafficGenerator
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_transport_smoke.json"
+)
+
+BENCH_SEED = 2010
+NUM_SHARDS = 4
+WORKERS = 2
+SPEEDUP_TARGET = 3.0
+
+FULL_FLOWS = 256
+FULL_SEGMENTS_PER_FLOW = 16
+FULL_SEGMENT_BYTES = 1024
+
+SMOKE_FLOWS = 32
+SMOKE_SEGMENTS_PER_FLOW = 8
+SMOKE_SEGMENT_BYTES = 1024
+
+
+def build_packets(flows: int, segments: int, segment_bytes: int):
+    """Interleaved flows over a tiny ruleset — the transport never looks at
+    the patterns, the ruleset only seeds realistic payload bytes."""
+    ruleset = generate_snort_like_ruleset(20, seed=BENCH_SEED)
+    generator = TrafficGenerator(ruleset, seed=BENCH_SEED + 1)
+    return ruleset, TrafficGenerator.interleave(
+        generator.flows(flows, num_packets=segments, segment_bytes=segment_bytes)
+    )
+
+
+def probe(service: ParallelScanService, packets, repeats: int) -> Dict:
+    """Best-of-``repeats`` transport-only dispatch of ``packets``."""
+    payload_bytes = sum(len(packet.payload) for packet in packets)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        drained = service.probe_transport(packets)
+        best = min(best, time.perf_counter() - start)
+        assert drained == payload_bytes, "worker drained fewer bytes than sent"
+    return {
+        "seconds": best,
+        "payload_mb_per_s": payload_bytes / best / 1e6,
+        "transport_stats": service.transport_stats.as_dict(),
+    }
+
+
+def run_sweep(smoke: bool = False, repeats: Optional[int] = None) -> Dict:
+    flows = SMOKE_FLOWS if smoke else FULL_FLOWS
+    segments = SMOKE_SEGMENTS_PER_FLOW if smoke else FULL_SEGMENTS_PER_FLOW
+    segment_bytes = SMOKE_SEGMENT_BYTES if smoke else FULL_SEGMENT_BYTES
+    repeats = repeats if repeats is not None else 3
+
+    ruleset, packets = build_packets(flows, segments, segment_bytes)
+    program = get_backend("dense").compile(ruleset.patterns)
+    payload_bytes = sum(len(packet.payload) for packet in packets)
+
+    with ParallelScanService(program, num_shards=NUM_SHARDS, workers=WORKERS) as shm:
+        shm_probe = probe(shm, packets, repeats)
+    with ParallelScanService(
+        program, num_shards=NUM_SHARDS, workers=WORKERS, ring_slot_bytes=1
+    ) as pipe:
+        pipe_probe = probe(pipe, packets, repeats)
+
+    assert shm_probe["transport_stats"]["spilled_segments"] == 0
+    assert pipe_probe["transport_stats"]["ring_segments"] == 0
+
+    speedup = shm_probe["payload_mb_per_s"] / pipe_probe["payload_mb_per_s"]
+    cpu_count = os.cpu_count() or 1
+    return {
+        "generated_by": "benchmarks/bench_transport.py",
+        "mode": "smoke" if smoke else "full",
+        "seed": BENCH_SEED,
+        "num_shards": NUM_SHARDS,
+        "workers": WORKERS,
+        "repeats": repeats,
+        "cpu_count": cpu_count,
+        "packets": len(packets),
+        "payload_bytes": payload_bytes,
+        "segment_bytes": segment_bytes,
+        "shm": shm_probe,
+        "pipe": pipe_probe,
+        "shm_vs_pipe_speedup": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "meets_speedup_target": speedup >= SPEEDUP_TARGET,
+        # on a 1-core runner the dispatcher and the draining workers share
+        # one core, so the pickle cost partially hides behind scheduling —
+        # the gate accepts either the target or an honest cpu_limited flag
+        "cpu_limited": cpu_count <= WORKERS,
+    }
+
+
+def format_report(report: Dict) -> str:
+    lines = [
+        f"shard transport A/B ({report['mode']}): {report['packets']} packets, "
+        f"{report['payload_bytes']} payload bytes, {report['workers']} workers, "
+        f"cpu_count={report['cpu_count']}"
+    ]
+    for name in ("shm", "pipe"):
+        entry = report[name]
+        stats = entry["transport_stats"]
+        lines.append(
+            f"{name:>6s}: {entry['payload_mb_per_s']:>10.2f} MB/s "
+            f"(ring={stats['ring_segments']}, spilled={stats['spilled_segments']}, "
+            f"stalls={stats['backpressure_stalls']}, chunks={stats['chunks']})"
+        )
+    lines.append(
+        f"shm vs pipe: {report['shm_vs_pipe_speedup']:.2f}x "
+        f"(target {report['speedup_target']}x"
+        + (", CPU-LIMITED: workers share cores)" if report["cpu_limited"] else ")")
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, output: pathlib.Path) -> pathlib.Path:
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return output
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI smoke runs")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    report = run_sweep(smoke=args.smoke, repeats=args.repeats)
+    path = write_report(report, args.output)
+    print(format_report(report))
+    print(f"wrote {path}")
+    if not (report["meets_speedup_target"] or report["cpu_limited"]):
+        print("REGRESSION: shm transport slower than the target with spare cores",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (smoke-sized so the full benchmark run stays fast)
+# ----------------------------------------------------------------------
+def test_transport_ab_smoke(results_dir):
+    report = run_sweep(smoke=True)
+    path = write_report(report, results_dir / "BENCH_transport_smoke.json")
+    assert path.exists()
+    assert report["shm"]["payload_mb_per_s"] > 0
+    assert report["pipe"]["payload_mb_per_s"] > 0
+    # the regression gate: a slow ring is a bug unless the runner is starved
+    assert report["meets_speedup_target"] or report["cpu_limited"], (
+        f"shm ring only {report['shm_vs_pipe_speedup']:.2f}x over the pickled "
+        f"pipe with {report['cpu_count']} cpus"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

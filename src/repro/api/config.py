@@ -102,6 +102,22 @@ class SourceSpec:
     * ``"pcap"``      — a pcap/pcapng capture at ``path`` (relative paths
       resolve against the config file's directory), decoded per the engine's
       ``strict`` flag.
+
+    Three kinds are **live** (:attr:`is_live` is true): they cannot be
+    loaded eagerly into a packet list, only served through
+    :meth:`repro.api.Session.serve` / the ``serve`` CLI subcommand:
+
+    * ``"tcp"``       — an asyncio TCP listener on ``host``:``port`` (each
+      connection is a flow, each read a segment);
+    * ``"udp"``       — a datagram endpoint on ``host``:``port`` (each
+      sender is a flow, each datagram a segment);
+    * ``"pcap-tail"`` — an incremental classic-pcap reader on ``path``;
+      ``follow=True`` keeps polling every ``poll_interval`` seconds for
+      appended records, ``tail -f`` style.
+
+    ``max_packets`` / ``idle_timeout`` bound a live source's serving loop
+    (stop after N segments / after the wire stays quiet that long);
+    ``batch_packets`` caps the ingestor's micro-batches.
     """
 
     kind: str = "generator"
@@ -117,10 +133,21 @@ class SourceSpec:
     attack_rate: float = 0.2
     # generator — RNG seed (independent of the ruleset seed)
     seed: int = 1
-    # pcap
+    # pcap / pcap-tail
     path: Optional[str] = None
     # in-memory
     packets: Tuple[Packet, ...] = ()
+    # live sources (tcp / udp / pcap-tail)
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    follow: bool = False
+    poll_interval: float = 0.2
+    max_packets: Optional[int] = None
+    idle_timeout: Optional[float] = None
+    batch_packets: int = 256
+
+    #: source kinds that are served live rather than loaded eagerly.
+    LIVE_KINDS = ("pcap-tail", "tcp", "udp")
 
     def __post_init__(self) -> None:
         if self.kind not in _SOURCES:
@@ -134,9 +161,35 @@ class SourceSpec:
                     "generator source needs exactly one of flows= "
                     "(interleaved flow workload) or count= (flat packets)"
                 )
-        if self.kind == "pcap" and not self.path:
-            raise ConfigError("pcap source needs path=")
+        if self.kind in ("pcap", "pcap-tail") and not self.path:
+            raise ConfigError(f"{self.kind} source needs path=")
+        if self.kind in ("tcp", "udp"):
+            if self.port is None:
+                raise ConfigError(f"{self.kind} source needs port= (0 = ephemeral)")
+            if not 0 <= self.port <= 0xFFFF:
+                raise ConfigError(f"port {self.port} out of range")
+        if self.batch_packets < 1:
+            raise ConfigError(
+                f"batch_packets must be >= 1, got {self.batch_packets}"
+            )
+        if self.max_packets is not None and self.max_packets < 1:
+            raise ConfigError(f"max_packets must be >= 1, got {self.max_packets}")
         object.__setattr__(self, "packets", tuple(self.packets))
+
+    @property
+    def is_live(self) -> bool:
+        """True for sources that are served, not loaded (see class docs)."""
+        return self.kind in self.LIVE_KINDS
+
+    def _live_limits_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.max_packets is not None:
+            out["max_packets"] = self.max_packets
+        if self.idle_timeout is not None:
+            out["idle_timeout"] = self.idle_timeout
+        if self.batch_packets != 256:
+            out["batch_packets"] = self.batch_packets
+        return out
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"kind": self.kind}
@@ -161,6 +214,15 @@ class SourceSpec:
             out["path"] = self.path
         elif self.kind == "packets":
             out["packets"] = [_packet_to_dict(packet) for packet in self.packets]
+        elif self.kind == "pcap-tail":
+            out["path"] = self.path
+            if self.follow:
+                out["follow"] = True
+                out["poll_interval"] = self.poll_interval
+            out.update(self._live_limits_dict())
+        elif self.kind in ("tcp", "udp"):
+            out.update(host=self.host, port=self.port)
+            out.update(self._live_limits_dict())
         return out
 
     @classmethod
@@ -170,7 +232,9 @@ class SourceSpec:
             (
                 "kind", "flows", "packets_per_flow", "split_patterns",
                 "split_segments", "segment_bytes", "count", "mean_payload",
-                "attack_rate", "seed", "path", "packets",
+                "attack_rate", "seed", "path", "packets", "host", "port",
+                "follow", "poll_interval", "max_packets", "idle_timeout",
+                "batch_packets",
             ),
             "source",
         )
@@ -311,6 +375,8 @@ class EngineSpec:
     is unused — the IDS shards by ``workers`` (its parallel pool pins one
     shard per worker).  ``strict`` makes pcap-source decoding fail on
     undecodable frames instead of skipping and counting them.
+    ``ring_slots``/``ring_slot_bytes`` (``None`` = the transport defaults)
+    size the parallel service's per-worker shared-memory payload rings.
     """
 
     backend: str = "dtp"
@@ -319,6 +385,8 @@ class EngineSpec:
     workers: Optional[int] = None
     flow_capacity: int = 4096
     strict: bool = False
+    ring_slots: Optional[int] = None
+    ring_slot_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         from ..backend import backend_names
@@ -334,6 +402,16 @@ class EngineSpec:
                 f"unknown device {self.device!r}; available: "
                 f"{', '.join(sorted(DEVICES))}"
             )
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.flow_capacity < 1:
+            raise ConfigError(f"flow_capacity must be >= 1, got {self.flow_capacity}")
+        for name in ("ring_slots", "ring_slot_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -346,13 +424,20 @@ class EngineSpec:
             out["workers"] = self.workers
         if self.strict:
             out["strict"] = True
+        if self.ring_slots is not None:
+            out["ring_slots"] = self.ring_slots
+        if self.ring_slot_bytes is not None:
+            out["ring_slot_bytes"] = self.ring_slot_bytes
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "EngineSpec":
         _check_keys(
             data,
-            ("backend", "device", "shards", "workers", "flow_capacity", "strict"),
+            (
+                "backend", "device", "shards", "workers", "flow_capacity",
+                "strict", "ring_slots", "ring_slot_bytes",
+            ),
             "engine",
         )
         return cls(**data)
@@ -622,6 +707,54 @@ register_source(
     SourceFactory(
         "pcap", "pcap/pcapng capture file decoded to scan-ready packets",
         _load_pcap_source,
+    )
+)
+
+
+def _load_live_source(session, spec: SourceSpec) -> LoadedSource:
+    raise ConfigError(
+        f"{spec.kind!r} is a live source and cannot be loaded into a packet "
+        "list; run it with Session.serve() or the `serve` CLI subcommand"
+    )
+
+
+def _live_source_object(session, spec: SourceSpec):
+    """Build the :mod:`repro.streaming.ingest` source a live spec describes."""
+    from ..streaming.ingest import (
+        PcapTailSource,
+        TcpListenerSource,
+        UdpListenerSource,
+    )
+
+    if spec.kind == "tcp":
+        return TcpListenerSource(spec.host, spec.port)
+    if spec.kind == "udp":
+        return UdpListenerSource(spec.host, spec.port)
+    if spec.kind == "pcap-tail":
+        return PcapTailSource(
+            session.config.resolve(spec.path),
+            follow=spec.follow,
+            poll_interval=spec.poll_interval,
+            strict=session.config.engine.strict,
+        )
+    raise ConfigError(f"{spec.kind!r} is not a live source kind")
+
+
+register_source(
+    SourceFactory(
+        "tcp", "live asyncio TCP listener (serve-only)", _load_live_source
+    )
+)
+register_source(
+    SourceFactory(
+        "udp", "live asyncio datagram endpoint (serve-only)", _load_live_source
+    )
+)
+register_source(
+    SourceFactory(
+        "pcap-tail",
+        "incremental (optionally tail-followed) classic pcap reader (serve-only)",
+        _load_live_source,
     )
 )
 

@@ -227,11 +227,17 @@ class Session:
             if engine.workers is not None:  # 0 is invalid, not "serial"
                 from ..streaming.executor import ParallelScanService
 
+                ring_kwargs = {}
+                if engine.ring_slots is not None:
+                    ring_kwargs["ring_slots"] = engine.ring_slots
+                if engine.ring_slot_bytes is not None:
+                    ring_kwargs["ring_slot_bytes"] = engine.ring_slot_bytes
                 self._service = ParallelScanService(
                     self.program,
                     num_shards=engine.shards,
                     flow_capacity_per_shard=engine.flow_capacity,
                     workers=engine.workers,
+                    **ring_kwargs,
                 )
             else:
                 from ..streaming.service import ScanService
@@ -372,6 +378,39 @@ class Session:
         for spec in self.config.sinks:
             run.sinks.append(get_sink(spec.kind).emit(self, spec, run))
         return run
+
+    def serve(self, *, collect_events: bool = True, on_batch=None):
+        """Serve the configured **live** source through the stream engine.
+
+        Builds the :mod:`repro.streaming.ingest` source the config's
+        ``tcp``/``udp``/``pcap-tail`` spec describes, micro-batches its
+        segments into :attr:`service` and returns the
+        :class:`~repro.streaming.ingest.IngestReport`.  Packet ids are
+        assigned in arrival order, so serving a finished capture through
+        ``pcap-tail`` produces events byte-identical to an offline
+        ``pcap``-source :meth:`run`.  The spec's ``max_packets`` /
+        ``idle_timeout`` bound the loop; ``on_batch(result, packets)``
+        observes every flushed batch as it happens.
+        """
+        self._require_stream("serve")
+        spec = self.config.source
+        if not spec.is_live:
+            raise ValueError(
+                f"serve() needs a live source ({', '.join(spec.LIVE_KINDS)}); "
+                f"{spec.kind!r} sources replay offline through run()"
+            )
+        from ..streaming.ingest import LiveIngestor
+        from .config import _live_source_object
+
+        ingestor = LiveIngestor(
+            self.service,
+            batch_packets=spec.batch_packets,
+            max_packets=spec.max_packets,
+            idle_timeout=spec.idle_timeout,
+            collect_events=collect_events,
+            on_batch=on_batch,
+        )
+        return ingestor.serve(_live_source_object(self, spec))
 
     # ------------------------------------------------------------------
     # state and reporting

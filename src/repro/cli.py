@@ -9,6 +9,8 @@ figure can be regenerated from a shell:
   the ``dtp`` backend, functional scan for every other backend);
 * ``scan-stream``      — stateful flow scanning: patterns split across packets;
 * ``scan-pcap``        — replay a pcap/pcapng capture through the scan service;
+* ``serve``            — scan a *live* source: TCP/UDP socket listeners or a
+  tail-followed pcap capture, batched through the same scan service;
 * ``ids``              — the end-to-end mini IDS over streamed flows (takes
   ``--pcap`` to run on a capture instead of synthetic flows);
 * ``run``              — execute a declarative pipeline config file (JSON or
@@ -37,7 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .analysis.metrics import (
     PAPER_TABLE1_REFERENCE,
@@ -165,6 +167,24 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_count(name: str, value: Optional[int], minimum: int = 1) -> None:
+    """Range-check a count flag at the CLI layer (same raw-``ValueError``
+    idiom as every other bad input value; the spec layer re-checks for
+    programmatic callers, so both surfaces reject ``--workers 0``)."""
+    if value is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+
+
+def _parse_endpoint(value: str) -> Tuple[str, int]:
+    """``HOST:PORT``, ``:PORT`` or bare ``PORT`` (host defaults to loopback).
+
+    A non-numeric port raises its raw ``ValueError`` — the CLI's bad-input
+    idiom — and the port *range* is checked by :class:`SourceSpec`.
+    """
+    host, _, port = value.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
 def _print_event_report(events, sid_of) -> None:
     """The backend-independent per-event report shared by the scan commands."""
     print("match report:")
@@ -193,6 +213,9 @@ def _print_scan_summary(service, result, show_workers: bool, extra_lines=()) -> 
 
 
 def _cmd_scan_stream(args: argparse.Namespace) -> int:
+    _require_count("--shards", args.shards)
+    _require_count("--workers", args.workers)
+    _require_count("--flow-capacity", args.flow_capacity)
     sinks = ()
     if args.export_pcap:
         # the sink follows the extension so the file's magic matches its name
@@ -266,6 +289,9 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_scan_pcap(args: argparse.Namespace) -> int:
+    _require_count("--shards", args.shards)
+    _require_count("--workers", args.workers)
+    _require_count("--flow-capacity", args.flow_capacity)
     if args.rules:
         rules = RulesSpec(kind="file", path=args.rules)
     else:
@@ -323,7 +349,96 @@ def _cmd_scan_pcap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    _require_count("--shards", args.shards)
+    _require_count("--workers", args.workers)
+    _require_count("--flow-capacity", args.flow_capacity)
+    _require_count("--max-packets", args.max_packets)
+    _require_count("--batch-packets", args.batch_packets)
+
+    chosen = [flag for flag, value in
+              (("--tcp", args.tcp), ("--udp", args.udp), ("--pcap-tail", args.pcap_tail))
+              if value]
+    if len(chosen) != 1:
+        print("serve needs exactly one live source: --tcp, --udp or --pcap-tail",
+              file=sys.stderr)
+        return 1
+    if args.follow and not args.pcap_tail:
+        print("--follow only applies to --pcap-tail", file=sys.stderr)
+        return 1
+
+    limits = dict(
+        max_packets=args.max_packets,
+        idle_timeout=args.idle_seconds,
+        batch_packets=args.batch_packets,
+    )
+    if args.tcp:
+        host, port = _parse_endpoint(args.tcp)
+        source = SourceSpec(kind="tcp", host=host, port=port, **limits)
+    elif args.udp:
+        host, port = _parse_endpoint(args.udp)
+        source = SourceSpec(kind="udp", host=host, port=port, **limits)
+    else:
+        source = SourceSpec(kind="pcap-tail", path=args.pcap_tail,
+                            follow=args.follow, poll_interval=args.poll_interval,
+                            **limits)
+
+    if args.rules:
+        rules = RulesSpec(kind="file", path=args.rules)
+    else:
+        rules = RulesSpec(kind="synthetic", size=args.size, seed=args.seed)
+    config = PipelineConfig(
+        mode="stream",
+        source=source,
+        rules=rules,
+        engine=EngineSpec(
+            backend=args.backend,
+            device=args.device,
+            shards=args.shards,
+            workers=args.workers,
+            flow_capacity=args.flow_capacity,
+            strict=args.strict,
+        ),
+    )
+    try:
+        with Session.from_config(config) as session:
+            ruleset = session.ruleset
+            print(f"backend                   : {args.backend}")
+            print(f"source                    : {source.kind} "
+                  + (args.pcap_tail if args.pcap_tail
+                     else f"{source.host}:{source.port}")
+                  + (" (follow)" if args.follow else ""))
+            remapped = len(session.sid_remap)
+            print(f"rules loaded              : {len(ruleset)}"
+                  + (f" ({remapped} reassigned sids)" if remapped else ""))
+            report = session.serve()
+            counters = ", ".join(
+                f"{name}={count}" for name, count in sorted(report.source_stats.items())
+            )
+            print(
+                f"served {report.packets} packets / {report.batches} batches "
+                f"({report.payload_bytes} payload bytes) "
+                f"in {report.elapsed_seconds:.2f}s"
+            )
+            print(f"stop reason               : {report.stop_reason}"
+                  + (f" ({counters})" if counters else ""))
+            _print_scan_summary(
+                session.service, report, show_workers=args.workers is not None
+            )
+            sid_of = session.sid_of
+    except EmptyRulesetError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    if args.print_events:
+        _print_event_report(report.events, sid_of)
+    return 0
+
+
 def _cmd_ids(args: argparse.Namespace) -> int:
+    _require_count("--workers", args.workers)
     if args.rules:
         # real rules only make sense against real traffic: the synthetic
         # flow generator injects patterns from the synthetic ruleset
@@ -590,6 +705,47 @@ def build_parser() -> argparse.ArgumentParser:
     scan_pcap.add_argument("--print-events", action="store_true",
                            help="print every match event (backend-independent report)")
     scan_pcap.set_defaults(handler=_cmd_scan_pcap)
+
+    serve = subparsers.add_parser(
+        "serve", help="scan a live source: socket listeners or a growing capture"
+    )
+    serve.add_argument("--tcp", metavar="HOST:PORT",
+                       help="listen for TCP connections (each connection is one "
+                            "flow; port 0 binds an ephemeral port)")
+    serve.add_argument("--udp", metavar="HOST:PORT",
+                       help="listen for UDP datagrams (each peer address is one flow)")
+    serve.add_argument("--pcap-tail", metavar="PATH",
+                       help="stream records from a pcap capture as they are "
+                            "written (classic pcap only, not pcapng)")
+    serve.add_argument("--follow", action="store_true",
+                       help="with --pcap-tail: keep polling for appended records "
+                            "instead of stopping at end of file")
+    serve.add_argument("--poll-interval", type=float, default=0.2,
+                       help="with --follow: seconds between polls for new records")
+    serve.add_argument("--rules", metavar="FILE",
+                       help="Snort rules file to match against (default: "
+                            "the synthetic --size/--seed ruleset)")
+    _add_ruleset_arguments(serve)
+    _add_backend_argument(serve)
+    serve.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
+    serve.add_argument("--shards", type=int, default=4, help="scan engine pool size")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="scan shards on this many worker processes "
+                            "(default: serial in-process scan)")
+    serve.add_argument("--flow-capacity", type=int, default=4096,
+                       help="LRU flow-table capacity per shard")
+    serve.add_argument("--max-packets", type=int, default=None,
+                       help="stop after scanning this many packets")
+    serve.add_argument("--idle-seconds", type=float, default=None,
+                       help="stop after this long with no arrivals")
+    serve.add_argument("--batch-packets", type=int, default=256,
+                       help="scan a batch once this many packets are queued")
+    serve.add_argument("--strict", action="store_true",
+                       help="with --pcap-tail: fail on frames that cannot be "
+                            "decoded (default: skip and count them)")
+    serve.add_argument("--print-events", action="store_true",
+                       help="print every match event (backend-independent report)")
+    serve.set_defaults(handler=_cmd_serve)
 
     ids = subparsers.add_parser(
         "ids", help="run the mini IDS pipeline over streamed flows"

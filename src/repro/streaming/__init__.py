@@ -13,10 +13,14 @@ puts on top of the matcher:
 * :mod:`repro.streaming.service` — a hash-sharded :class:`ScanService`
   dispatching batches across a pool of scanners with aggregate reporting;
 * :mod:`repro.streaming.executor` — :class:`ParallelScanService`, the same
-  front-end with each shard's engine living in its own worker process.
+  front-end with each shard's engine living in its own worker process;
+* :mod:`repro.streaming.transport` — the zero-copy shared-memory ring that
+  carries payload bytes between the executor's dispatcher and its workers;
+* :mod:`repro.streaming.ingest`  — the asyncio front-end feeding any scan
+  service from live sources (socket listeners, tail-followed captures).
 """
 
-from .executor import ParallelScanService
+from .executor import ParallelScanService, WorkerCrashedError
 from .flow import (
     DEFAULT_FLOW_CAPACITY,
     FlowEntry,
@@ -24,16 +28,30 @@ from .flow import (
     FlowTable,
     FlowTableStatistics,
 )
+from .ingest import (
+    IngestReport,
+    LiveIngestor,
+    PcapTailSource,
+    TcpListenerSource,
+    UdpListenerSource,
+)
 from .scanner import ANONYMOUS_FLOW, ScannerStatistics, StreamMatch, StreamScanner
 from .service import ScanService, ShardReport, StreamScanResult
+from .transport import ShardRing, TransportError, TransportStats
 
 __all__ = [
     "ParallelScanService",
+    "WorkerCrashedError",
     "DEFAULT_FLOW_CAPACITY",
     "FlowEntry",
     "FlowKey",
     "FlowTable",
     "FlowTableStatistics",
+    "IngestReport",
+    "LiveIngestor",
+    "PcapTailSource",
+    "TcpListenerSource",
+    "UdpListenerSource",
     "ANONYMOUS_FLOW",
     "ScannerStatistics",
     "StreamMatch",
@@ -41,4 +59,7 @@ __all__ = [
     "ScanService",
     "ShardReport",
     "StreamScanResult",
+    "ShardRing",
+    "TransportError",
+    "TransportStats",
 ]

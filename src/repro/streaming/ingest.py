@@ -1,0 +1,433 @@
+"""Live asyncio ingestion: feed the scan services from sources that never end.
+
+Everything upstream of this module replays *finished* artifacts — in-memory
+packet lists, generator traffic, capture files.  A deployed DPI node instead
+sits on sockets and growing capture files, serving thousands of concurrent
+connections.  This module is that front-end:
+
+* :class:`TcpListenerSource` — an ``asyncio`` TCP listener.  Every accepted
+  connection becomes one flow (its real peer/local 5-tuple); every
+  ``read()`` becomes one flow segment, so cross-segment matches work
+  exactly as they do for replayed traffic.
+* :class:`UdpListenerSource` — a datagram endpoint; each datagram is one
+  segment of its sender's flow (datagram boundaries are preserved, so
+  ingestion is deterministic per sender).
+* :class:`PcapTailSource` — an incremental classic-pcap reader built on the
+  :mod:`repro.capture` record format: it decodes records as they appear and
+  (with ``follow=True``) keeps polling the file for appended records,
+  ``tail -f`` style.  Frames that cannot be decoded are skipped and counted,
+  mirroring :func:`repro.capture.replay.load_packets`.
+
+:class:`LiveIngestor` drives one source into any scan service front-end
+(serial or parallel).  It assigns sequential packet ids in arrival order —
+the same contract capture replay makes — and micro-batches segments
+(``batch_packets`` cap, flushed early when the wire goes idle for
+``batch_idle`` seconds) so the parallel service amortises its dispatch over
+real batches.  Scans run in a single worker thread off the event loop: the
+listener keeps accepting while a batch scans, and one scan at a time keeps
+the event stream identical to scanning the batches back-to-back serially.
+Because ids are globally monotone in arrival order and each batch's events
+come back canonically sorted (packet id first), the concatenated event
+stream is *identical* to scanning the same packets in one offline call —
+``serve`` on a finished capture file reproduces ``scan-pcap`` byte for
+byte.
+
+Termination is explicit: ``max_packets`` (stop after N segments),
+``idle_timeout`` (stop once the source goes quiet), or source exhaustion
+(a tail reader with ``follow=False`` stops at end of file).  A socket
+source with no limits runs until cancelled — that is the serving loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..capture.frames import decode_frame
+from ..capture.pcap import CaptureError, PCAP_MAGIC_MICRO, PCAP_MAGIC_NANO
+from ..traffic.packet import FiveTuple, Packet
+from .scanner import StreamMatch
+
+#: ``emit(header, payload)`` — how a source hands one flow segment to the
+#: ingestor.  Synchronous on purpose: sources call it from protocol
+#: callbacks and reader loops; the ingestor's unbounded arrival queue does
+#: the buffering.
+EmitFn = Callable[[Optional[FiveTuple], bytes], None]
+
+#: Ingestor wake-up granularity (seconds): how often flush deadlines, source
+#: exhaustion and idle timeouts are checked while the wire is quiet.
+_TICK_SECONDS = 0.05
+
+
+class IngestError(RuntimeError):
+    """A live source failed in a way that is not a malformed capture."""
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`LiveIngestor.run` served.
+
+    ``events`` is the concatenated canonical event stream (empty when
+    ``collect_events`` was off); ``stop_reason`` is ``"max_packets"``,
+    ``"idle_timeout"``, ``"source_exhausted"`` or ``"cancelled"``.
+    ``source_stats`` are the source's own counters (connections, datagrams,
+    skipped frames, ...).
+    """
+
+    packets: int = 0
+    payload_bytes: int = 0
+    batches: int = 0
+    matches: int = 0
+    events: List[StreamMatch] = field(default_factory=list)
+    stop_reason: str = "cancelled"
+    elapsed_seconds: float = 0.0
+    source_stats: Dict[str, int] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# sources
+# ----------------------------------------------------------------------
+class TcpListenerSource:
+    """Accept TCP connections; each connection is a flow, each read a segment.
+
+    ``port=0`` binds an ephemeral port; :attr:`bound_port` holds the real
+    one once :meth:`run` has started listening (await :meth:`ready`).
+    ``max_segment`` caps a single read — the flow scanner reassembles
+    across segments, so the cap only shapes batching, never detection.
+    """
+
+    kind = "tcp"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, max_segment: int = 2048):
+        self.host = host
+        self.port = port
+        self.max_segment = max_segment
+        self.bound_port: Optional[int] = None
+        self.connections = 0
+        self.segments = 0
+        self._ready = asyncio.Event()
+
+    async def ready(self) -> None:
+        await self._ready.wait()
+
+    def stats(self) -> Dict[str, int]:
+        return {"connections": self.connections, "segments": self.segments}
+
+    async def run(self, emit: EmitFn) -> None:
+        server = await asyncio.start_server(
+            lambda reader, writer: self._serve_client(reader, writer, emit),
+            self.host,
+            self.port,
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            async with server:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            raise
+
+    async def _serve_client(self, reader, writer, emit: EmitFn) -> None:
+        peer = writer.get_extra_info("peername")
+        local = writer.get_extra_info("sockname")
+        header = FiveTuple(
+            src_ip=str(peer[0]),
+            dst_ip=str(local[0]),
+            src_port=int(peer[1]),
+            dst_port=int(local[1]),
+            protocol="tcp",
+        )
+        self.connections += 1
+        try:
+            while True:
+                data = await reader.read(self.max_segment)
+                if not data:
+                    break
+                self.segments += 1
+                emit(header, data)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client vanished
+                pass
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, source: "UdpListenerSource", emit: EmitFn):
+        self.source = source
+        self.emit = emit
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        source = self.source
+        source.datagrams += 1
+        header = FiveTuple(
+            src_ip=str(addr[0]),
+            dst_ip=source.host,
+            src_port=int(addr[1]),
+            dst_port=source.bound_port or source.port,
+            protocol="udp",
+        )
+        self.emit(header, data)
+
+
+class UdpListenerSource:
+    """Receive datagrams; each sender is a flow, each datagram a segment."""
+
+    kind = "udp"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self.bound_port: Optional[int] = None
+        self.datagrams = 0
+        self._ready = asyncio.Event()
+
+    async def ready(self) -> None:
+        await self._ready.wait()
+
+    def stats(self) -> Dict[str, int]:
+        return {"datagrams": self.datagrams}
+
+    async def run(self, emit: EmitFn) -> None:
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self, emit), local_addr=(self.host, self.port)
+        )
+        self.bound_port = transport.get_extra_info("sockname")[1]
+        self._ready.set()
+        try:
+            await asyncio.Event().wait()  # datagrams arrive via the protocol
+        finally:
+            transport.close()
+
+
+class PcapTailSource:
+    """Incrementally decode a classic pcap file, optionally ``tail -f`` style.
+
+    Reads the 24-byte global header, then consumes 16-byte-headed records as
+    they become available.  With ``follow=False`` the source is exhausted at
+    end of file (a *complete* record boundary — a half-written record means
+    a truncated capture and raises); with ``follow=True`` it polls every
+    ``poll_interval`` seconds for appended records until cancelled.  Only
+    classic pcap is supported — pcapng's variable-length block structure
+    does not tail safely — and the error says so.
+    """
+
+    kind = "pcap-tail"
+
+    def __init__(
+        self,
+        path,
+        *,
+        follow: bool = False,
+        poll_interval: float = 0.2,
+        strict: bool = False,
+    ):
+        self.path = path
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self.strict = strict
+        self.records = 0
+        self.skipped = 0
+        self._ready = asyncio.Event()
+
+    async def ready(self) -> None:
+        await self._ready.wait()
+
+    def stats(self) -> Dict[str, int]:
+        return {"records": self.records, "skipped_frames": self.skipped}
+
+    async def _read_exact(self, handle, count: int, *, at_boundary: bool) -> Optional[bytes]:
+        """Read exactly ``count`` bytes, polling for growth in follow mode.
+
+        Returns ``None`` for a clean end of file (only possible when
+        ``at_boundary`` — i.e. no partial record has been consumed).
+        """
+        chunks: List[bytes] = []
+        got = 0
+        while got < count:
+            data = handle.read(count - got)
+            if data:
+                chunks.append(data)
+                got += len(data)
+                continue
+            if self.follow:
+                await asyncio.sleep(self.poll_interval)
+                continue
+            if got == 0 and at_boundary:
+                return None
+            raise CaptureError(
+                f"truncated capture: short read in pcap record ({self.path})"
+            )
+        return b"".join(chunks)
+
+    async def run(self, emit: EmitFn) -> None:
+        with open(self.path, "rb") as handle:
+            header = await self._read_exact(handle, 24, at_boundary=True)
+            self._ready.set()
+            if header is None:
+                if not self.follow:
+                    raise CaptureError(f"empty capture file ({self.path})")
+                return  # pragma: no cover - follow mode never returns None here
+            (magic,) = struct.unpack("<I", header[:4])
+            if magic in (PCAP_MAGIC_MICRO, PCAP_MAGIC_NANO):
+                endian = "<"
+            else:
+                (magic_be,) = struct.unpack(">I", header[:4])
+                if magic_be in (PCAP_MAGIC_MICRO, PCAP_MAGIC_NANO):
+                    endian = ">"
+                else:
+                    raise CaptureError(
+                        f"not a classic pcap file (magic 0x{magic:08X}); "
+                        "tail-follow does not support pcapng"
+                    )
+            _, _, _, _, _, linktype = struct.unpack(endian + "HHiIII", header[4:])
+            while True:
+                record_header = await self._read_exact(handle, 16, at_boundary=True)
+                if record_header is None:
+                    return  # exhausted (follow=False)
+                _, _, incl_len, _ = struct.unpack(endian + "IIII", record_header)
+                data = await self._read_exact(handle, incl_len, at_boundary=False)
+                frame, reason = decode_frame(data, linktype)
+                if frame is None:
+                    if self.strict:
+                        raise CaptureError(
+                            f"frame {self.records + self.skipped} cannot be "
+                            f"decoded ({reason})"
+                        )
+                    self.skipped += 1
+                    continue
+                self.records += 1
+                emit(frame.header, frame.payload)
+
+
+# ----------------------------------------------------------------------
+# the ingestor
+# ----------------------------------------------------------------------
+class LiveIngestor:
+    """Micro-batching bridge from one live source into a scan service.
+
+    ``service`` is any :class:`~repro.streaming.service.ShardedScanServiceBase`
+    front-end.  Batches close at ``batch_packets`` segments or after
+    ``batch_idle`` quiet seconds, whichever first; ``on_batch(result,
+    packets)`` (if given) observes every flushed batch — the hook streaming
+    sinks attach to.  Set ``collect_events=False`` on unbounded serving
+    loops so the report does not accumulate events forever.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        batch_packets: int = 256,
+        batch_idle: float = 0.05,
+        max_packets: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        collect_events: bool = True,
+        on_batch: Optional[Callable] = None,
+    ):
+        if batch_packets < 1:
+            raise ValueError(f"batch_packets must be >= 1, got {batch_packets}")
+        self.service = service
+        self.batch_packets = batch_packets
+        self.batch_idle = batch_idle
+        self.max_packets = max_packets
+        self.idle_timeout = idle_timeout
+        self.collect_events = collect_events
+        self.on_batch = on_batch
+
+    def serve(self, source) -> IngestReport:
+        """Synchronous wrapper: run the ingestion loop to completion."""
+        return asyncio.run(self.run(source))
+
+    async def run(self, source) -> IngestReport:
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def emit(header: Optional[FiveTuple], payload: bytes) -> None:
+            queue.put_nowait((header, payload))
+
+        report = IngestReport()
+        started = time.perf_counter()
+        source_task = asyncio.create_task(source.run(emit))
+        loop = asyncio.get_running_loop()
+        # One thread: the event loop keeps accepting while a batch scans,
+        # and strictly serial scans keep the event stream canonical.
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-ingest-scan"
+        )
+        batch: List[Packet] = []
+        next_id = 0
+        last_arrival = time.monotonic()
+
+        async def flush() -> None:
+            nonlocal batch
+            todo, batch = batch, []
+            result = await loop.run_in_executor(executor, self.service.scan, todo)
+            report.batches += 1
+            report.packets += len(todo)
+            report.payload_bytes += sum(len(packet.payload) for packet in todo)
+            report.matches += len(result.events)
+            if self.collect_events:
+                report.events.extend(result.events)
+            if self.on_batch is not None:
+                self.on_batch(result, todo)
+
+        try:
+            while True:
+                if self.max_packets is not None and next_id >= self.max_packets:
+                    report.stop_reason = "max_packets"
+                    break
+                try:
+                    header, payload = await asyncio.wait_for(
+                        queue.get(), timeout=_TICK_SECONDS
+                    )
+                except asyncio.TimeoutError:
+                    if batch:
+                        await flush()  # the wire went idle: close the batch
+                        continue
+                    if source_task.done() and queue.empty():
+                        report.stop_reason = "source_exhausted"
+                        # surface a crashed (not merely finished) source
+                        if not source_task.cancelled() and source_task.exception():
+                            raise source_task.exception()
+                        break
+                    if (
+                        self.idle_timeout is not None
+                        and time.monotonic() - last_arrival >= self.idle_timeout
+                    ):
+                        report.stop_reason = "idle_timeout"
+                        break
+                    continue
+                last_arrival = time.monotonic()
+                batch.append(Packet(payload=payload, header=header, packet_id=next_id))
+                next_id += 1
+                if len(batch) >= self.batch_packets:
+                    await flush()
+            if batch:
+                await flush()
+        finally:
+            source_task.cancel()
+            try:
+                await source_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            executor.shutdown(wait=True)
+        report.elapsed_seconds = time.perf_counter() - started
+        report.source_stats = dict(source.stats())
+        return report
+
+
+__all__ = [
+    "EmitFn",
+    "IngestError",
+    "IngestReport",
+    "LiveIngestor",
+    "PcapTailSource",
+    "TcpListenerSource",
+    "UdpListenerSource",
+]

@@ -1,0 +1,239 @@
+"""Zero-copy shared-memory shard transport: payload bytes without pickling.
+
+:class:`~repro.streaming.executor.ParallelScanService` originally shipped
+every payload to its worker as a pickled ``(FlowKey, bytes, packet_id)``
+tuple over a ``multiprocessing.Pipe``.  That costs a pickle encode, a pipe
+write, a pipe read and a pickle decode *per segment* — pure transport tax on
+what the paper treats as a wire-rate data plane.  This module is the
+replacement data plane:
+
+* :class:`ShardRing` — one single-producer/single-consumer ring of
+  fixed-size slots in a :class:`multiprocessing.shared_memory.SharedMemory`
+  segment per worker.  The dispatcher copies each payload into a slot once;
+  the worker reads it back as a :class:`memoryview` into the shared mapping
+  — zero copies on the consumer side and no pickling in either direction.
+* Each slot carries a tiny packed header ``(sequence, flow id, length)``.
+  The sequence number is checked on every read, so a dispatcher/worker
+  cursor mismatch surfaces as a loud :class:`TransportError` instead of a
+  silently mis-attributed payload.
+* **Spill path**: a payload larger than ``slot_bytes`` does not fit the ring
+  and travels pickled over the control pipe instead (the dispatcher decides;
+  see ``executor.py``).  The ring enforces the invariant with
+  :exc:`SlotOversizeError`.
+* **Backpressure**: :meth:`ShardRing.try_write` refuses (returns ``False``)
+  when every slot is in flight; the dispatcher then closes the current chunk
+  and waits for the worker to drain it before writing more.  Stalls are
+  counted in :class:`TransportStats` — visible evidence of an undersized
+  ring rather than a silent overwrite.
+
+Both ends run strictly in lock-step — the dispatcher only reuses slots the
+worker has explicitly acknowledged over the control pipe — so no shared
+cursors or cross-process atomics are needed; determinism is inherited from
+the request/reply protocol, not fought for with locks.
+
+Lifecycle: the dispatcher creates the segment (:class:`ShardRing` with
+``name=None``) and is its sole owner — it both closes *and* unlinks.  A
+worker attaches by name and only closes its mapping.  CPython registers the
+segment with the ``resource_tracker`` on attach as well as on create
+(bpo-39959), but every worker is a ``multiprocessing`` child of the
+dispatcher and therefore *shares* the dispatcher's tracker process, so the
+attach-side registration is an idempotent no-op and the dispatcher's
+``unlink`` retires the name exactly once.  (Unregistering in the worker
+would be actively wrong: it strips the shared tracker's one registration
+out from under the dispatcher.)
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import asdict, dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+#: Default ring geometry: 256 slots x 2 KiB ≈ 512 KiB per worker.  Slots
+#: comfortably hold an MTU-sized segment (1500 B); anything larger spills.
+DEFAULT_RING_SLOTS = 256
+DEFAULT_RING_SLOT_BYTES = 2048
+
+#: Per-slot header: ``(sequence & 0xFFFFFFFF, flow id, payload length)``.
+_SLOT_HEADER = struct.Struct("<III")
+
+SLOT_HEADER_BYTES = _SLOT_HEADER.size
+
+
+class TransportError(RuntimeError):
+    """Dispatcher and worker disagree about ring state (a protocol bug)."""
+
+
+class SlotOversizeError(ValueError):
+    """A payload larger than ``slot_bytes`` was offered to the ring."""
+
+
+@dataclass
+class TransportStats:
+    """Dispatcher-side counters for one service's data plane.
+
+    ``ring_segments``/``ring_bytes`` moved through shared memory;
+    ``spilled_segments``/``spilled_bytes`` were too big for a slot and went
+    pickled over the control pipe; ``backpressure_stalls`` counts chunks cut
+    short because a ring was full; ``chunks`` counts scan requests sent
+    (one request per chunk per worker).
+    """
+
+    ring_segments: int = 0
+    ring_bytes: int = 0
+    spilled_segments: int = 0
+    spilled_bytes: int = 0
+    backpressure_stalls: int = 0
+    chunks: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class ShardRing:
+    """Fixed-slot SPSC ring over one shared-memory segment.
+
+    Exactly one dispatcher writes and one worker reads.  Construct with
+    ``name=None`` to create (dispatcher side) or with the segment's name to
+    attach (worker side).  Slot accounting is per-end: the dispatcher tracks
+    in-flight slots (``pending``) and frees them via :meth:`consumed` when
+    the worker acknowledges a chunk; the worker just advances its read
+    cursor.  Sequence numbers written into every slot header keep the two
+    cursors honest.
+    """
+
+    def __init__(self, slots: int, slot_bytes: int, name: Optional[str] = None):
+        if slots < 1:
+            raise ValueError(f"ring needs at least 1 slot, got {slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"ring slots need at least 1 byte, got {slot_bytes}")
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._stride = SLOT_HEADER_BYTES + slot_bytes
+        self.owner = name is None
+        # fork-started workers inherit the dispatcher's owner-side ring
+        # objects; only the creating *process* may unlink the segment, or a
+        # worker's interpreter shutdown would tear it out from under the
+        # dispatcher.
+        self._creator_pid = os.getpid()
+        if self.owner:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=slots * self._stride
+            )
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            if self._shm.size < slots * self._stride:
+                raise TransportError(
+                    f"ring segment {name!r} is {self._shm.size} bytes, "
+                    f"expected at least {slots * self._stride}"
+                )
+        self._buffer = self._shm.buf
+        self._seq = 0  # next sequence to write (dispatcher) / read (worker)
+        self._pending = 0  # dispatcher side: slots written, not yet consumed
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # dispatcher end
+    # ------------------------------------------------------------------
+    def try_write(self, flow_id: int, payload) -> bool:
+        """Copy ``payload`` into the next slot; ``False`` if the ring is full.
+
+        A ``False`` return is the backpressure signal: every slot holds a
+        segment the worker has not acknowledged yet.  Oversized payloads
+        raise :exc:`SlotOversizeError` — the caller must spill them over the
+        control plane instead.
+        """
+        length = len(payload)
+        if length > self.slot_bytes:
+            raise SlotOversizeError(
+                f"payload of {length} bytes exceeds the {self.slot_bytes}-byte slot"
+            )
+        if self._pending >= self.slots:
+            return False
+        offset = (self._seq % self.slots) * self._stride
+        _SLOT_HEADER.pack_into(
+            self._buffer, offset, self._seq & 0xFFFFFFFF, flow_id, length
+        )
+        start = offset + SLOT_HEADER_BYTES
+        self._buffer[start:start + length] = payload
+        self._seq += 1
+        self._pending += 1
+        return True
+
+    def consumed(self, count: int) -> None:
+        """Free ``count`` slots the worker acknowledged (chunk reply arrived)."""
+        if count > self._pending:
+            raise TransportError(
+                f"worker acknowledged {count} slots but only {self._pending} "
+                "are in flight"
+            )
+        self._pending -= count
+
+    # ------------------------------------------------------------------
+    # worker end
+    # ------------------------------------------------------------------
+    def read(self) -> Tuple[int, memoryview]:
+        """Return ``(flow_id, payload view)`` for the next slot in sequence.
+
+        The view aliases shared memory — valid only until the slot is
+        acknowledged back to the dispatcher, and it must be ``release()``d
+        before the ring is closed.
+        """
+        offset = (self._seq % self.slots) * self._stride
+        seq, flow_id, length = _SLOT_HEADER.unpack_from(self._buffer, offset)
+        if seq != self._seq & 0xFFFFFFFF:
+            raise TransportError(
+                f"ring slot out of sequence: expected {self._seq & 0xFFFFFFFF}, "
+                f"found {seq}"
+            )
+        start = offset + SLOT_HEADER_BYTES
+        view = self._buffer[start:start + length]
+        self._seq += 1
+        return flow_id, view
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap this end.  Owner (dispatcher) additionally unlinks."""
+        if self._buffer is None:
+            return
+        self._buffer = None
+        self._shm.close()
+        if self.owner and os.getpid() == self._creator_pid:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShardRing":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = [
+    "DEFAULT_RING_SLOTS",
+    "DEFAULT_RING_SLOT_BYTES",
+    "SLOT_HEADER_BYTES",
+    "ShardRing",
+    "SlotOversizeError",
+    "TransportError",
+    "TransportStats",
+]

@@ -401,7 +401,7 @@ def test_pcap_sink_round_trips_the_workload(tmp_path):
 # validation and registries
 # ----------------------------------------------------------------------
 def test_registries_list_builtin_kinds():
-    assert source_kinds() == ["generator", "packets", "pcap"]
+    assert source_kinds() == ["generator", "packets", "pcap", "pcap-tail", "tcp", "udp"]
     assert sink_kinds() == ["alerts", "events", "ndjson", "pcap"]
 
 
@@ -415,8 +415,18 @@ def test_registries_list_builtin_kinds():
         lambda: RulesSpec(kind="nope"),
         lambda: RulesSpec(kind="file"),  # no path
         lambda: RulesSpec(kind="specs"),  # no rules
+        lambda: SourceSpec(kind="tcp"),  # live listener without a port
+        lambda: SourceSpec(kind="udp", port=70000),  # port out of range
+        lambda: SourceSpec(kind="pcap-tail"),  # no path
+        lambda: SourceSpec(kind="tcp", port=9, batch_packets=0),
+        lambda: SourceSpec(kind="tcp", port=9, max_packets=0),
         lambda: EngineSpec(backend="nope"),
         lambda: EngineSpec(device="nope"),
+        lambda: EngineSpec(shards=0),
+        lambda: EngineSpec(workers=0),
+        lambda: EngineSpec(flow_capacity=0),
+        lambda: EngineSpec(ring_slots=0),
+        lambda: EngineSpec(ring_slot_bytes=-1),
         lambda: SinkSpec(kind="nope"),
         lambda: SinkSpec(kind="ndjson"),  # no path
         lambda: SinkSpec(kind="events", what="bogus"),

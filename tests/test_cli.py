@@ -298,11 +298,53 @@ def test_run_example_pipeline_config(tmp_path, capsys):
                      id="scan-stream-zero-segment-bytes"),
         pytest.param(["ids", "--size", "20", "--seed", "2", "--flows", "2",
                       "--workers", "0"], ValueError, id="ids-zero-workers"),
+        # count flags are range-checked before the capture is even opened,
+        # so a placeholder path exercises the validation alone
+        pytest.param(["scan-pcap", "unused.pcap", "--workers", "0"],
+                     ValueError, id="scan-pcap-zero-workers"),
+        pytest.param(["scan-pcap", "unused.pcap", "--shards", "0"],
+                     ValueError, id="scan-pcap-zero-shards"),
+        pytest.param(["scan-pcap", "unused.pcap", "--flow-capacity", "0"],
+                     ValueError, id="scan-pcap-zero-flow-capacity"),
+        pytest.param(["serve", "--pcap-tail", "unused.pcap", "--workers", "0"],
+                     ValueError, id="serve-zero-workers"),
+        pytest.param(["serve", "--pcap-tail", "unused.pcap", "--shards", "-1"],
+                     ValueError, id="serve-negative-shards"),
+        pytest.param(["serve", "--pcap-tail", "unused.pcap", "--max-packets", "0"],
+                     ValueError, id="serve-zero-max-packets"),
+        pytest.param(["serve", "--pcap-tail", "unused.pcap", "--batch-packets", "0"],
+                     ValueError, id="serve-zero-batch-packets"),
+        pytest.param(["serve", "--tcp", "127.0.0.1:notaport"],
+                     ValueError, id="serve-non-numeric-port"),
+        pytest.param(["serve", "--udp", ":70000"],
+                     ValueError, id="serve-port-out-of-range"),
     ],
 )
 def test_bad_input_values_raise_raw_tracebacks(argv, exception):
     with pytest.raises(exception):
         main(argv)
+
+
+def test_serve_pcap_tail_matches_scan_pcap(capsys, workload_pcap):
+    """The ISSUE's acceptance path: serving a replayed live source emits a
+    match report byte-identical to the offline scan of the same capture."""
+    _, offline_report = _pcap_match_report(capsys, workload_pcap)
+    assert main(["serve", "--pcap-tail", str(workload_pcap), "--size", "40",
+                 "--seed", "5", "--shards", "2", "--workers", "2",
+                 "--print-events"]) == 0
+    out = capsys.readouterr().out
+    assert "stop reason               : source_exhausted" in out
+    assert "served 18 packets" in out
+    assert out[out.index("match report:"):] == offline_report
+
+
+def test_serve_flag_combinations_error_cleanly(capsys, workload_pcap):
+    assert main(["serve"]) == 1
+    assert "exactly one live source" in capsys.readouterr().err
+    assert main(["serve", "--tcp", ":0", "--udp", ":0"]) == 1
+    assert "exactly one live source" in capsys.readouterr().err
+    assert main(["serve", "--tcp", ":0", "--follow"]) == 1
+    assert "--follow only applies to --pcap-tail" in capsys.readouterr().err
 
 
 def test_scan_pcap_unparseable_rules_raise(tmp_path, workload_pcap):

@@ -377,3 +377,36 @@ class TestParallelIDS:
     def test_workers_validation(self):
         with pytest.raises(ValueError):
             self.build_ids(workers=0)
+
+
+# ----------------------------------------------------------------------
+# satellite bugfix: a dead worker must raise, not hang the dispatcher
+# ----------------------------------------------------------------------
+def test_dead_worker_raises_instead_of_hanging(crafted_program):
+    from repro.streaming import WorkerCrashedError
+
+    packets = [
+        Packet(payload=b"EVILPAYLOADSIGNATURE", header=make_header(n), packet_id=0)
+        for n in range(4)
+    ]
+    with ParallelScanService(crafted_program, num_shards=4, workers=2) as service:
+        service.scan(packets)  # healthy round first
+        victim = service._workers[0]
+        victim.process.kill()
+        victim.process.join()
+        with pytest.raises(WorkerCrashedError, match=r"worker 0 \(shards \[0, 2\]\)"):
+            service.scan(packets)
+
+
+def test_crash_error_names_worker_and_shards(crafted_program):
+    from repro.streaming import WorkerCrashedError
+
+    with ParallelScanService(crafted_program, num_shards=4, workers=2) as service:
+        victim = service._workers[1]
+        victim.process.kill()
+        victim.process.join()
+        with pytest.raises(WorkerCrashedError) as excinfo:
+            service.stats()
+        message = str(excinfo.value)
+        assert "worker 1" in message and "shards [1, 3]" in message
+        assert "exit code" in message
