@@ -7,7 +7,6 @@ diminishing returns beyond ~4 slots.
 """
 
 from repro.analysis import format_table
-from repro.automata import AhoCorasickDFA
 from repro.core import DTPAutomaton, build_default_transition_table
 
 SLOT_COUNTS = (0, 1, 2, 3, 4, 6, 8)

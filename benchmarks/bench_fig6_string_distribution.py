@@ -6,7 +6,7 @@ the benchmark regenerates the per-bucket histograms and checks the shape.
 """
 
 from repro.analysis import format_histogram, format_table
-from repro.rulesets import FIGURE6_DISTRIBUTION, generate_paper_rulesets
+from repro.rulesets import generate_paper_rulesets
 
 SIZES = (500, 634, 1204, 1603, 2588, 6275)
 

@@ -33,7 +33,7 @@ import json
 import pathlib
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.backend import get_backend
 from repro.capture import load_packets, read_capture, write_packets

@@ -11,6 +11,8 @@ throughput) and checks the headline claims:
   "memory consumption scales very well" observation).
 """
 
+import json
+
 import pytest
 
 from repro.analysis import (
@@ -49,6 +51,26 @@ def _render(rows, device):
     return format_table(dicts, title=f"Table II — {device.family} (measured vs paper)")
 
 
+def _verified_json(rows, device, compiled_program):
+    """Table rows plus a per-ruleset ``verified`` flag from the static
+    program verifier — each measured program is *proved* faithful to its
+    ruleset (DTP exactness, packing round-trips, match-memory
+    completeness), so the table cannot quote numbers for a corrupt
+    artifact."""
+    from repro.check import verify_program
+
+    records = []
+    for row in rows:
+        report = verify_program(compiled_program(row.num_strings, device))
+        data = row.as_dict()
+        data["verified"] = report.ok
+        data["verify_errors"] = len(report.errors)
+        records.append(data)
+    return json.dumps(
+        {"device": device.family, "rows": records}, indent=2, default=str
+    ) + "\n"
+
+
 def _check_claims(rows, device):
     for row in rows:
         assert row.reduction_percent > 96.0
@@ -76,6 +98,9 @@ def test_table2_stratix(benchmark, write_result, paper_family, compiled_program,
         iterations=1,
     )
     write_result("table2_stratix3.txt", _render(rows, STRATIX_III))
+    report_json = _verified_json(rows, STRATIX_III, compiled_program)
+    write_result("table2_stratix3.json", report_json)
+    assert all(row["verified"] for row in json.loads(report_json)["rows"])
     _check_claims(rows, STRATIX_III)
 
 
@@ -87,4 +112,7 @@ def test_table2_cyclone(benchmark, write_result, paper_family, compiled_program,
         iterations=1,
     )
     write_result("table2_cyclone3.txt", _render(rows, CYCLONE_III))
+    report_json = _verified_json(rows, CYCLONE_III, compiled_program)
+    write_result("table2_cyclone3.json", report_json)
+    assert all(row["verified"] for row in json.loads(report_json)["rows"])
     _check_claims(rows, CYCLONE_III)

@@ -1,7 +1,6 @@
 """E7 — Table III: comparison against the bitmap and path-compressed AC of
 Tuck et al. on a ~19,124-character Snort-like workload."""
 
-import pytest
 
 from repro.analysis import PAPER_TABLE3_REFERENCE, format_table, table3_rows
 from repro.fpga import CYCLONE_III, STRATIX_III

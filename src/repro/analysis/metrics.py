@@ -20,7 +20,6 @@ from ..core.accelerator_config import AcceleratorProgram, compile_ruleset
 from ..fpga.devices import FPGADevice
 from ..fpga.power import PowerModel
 from ..fpga.resources import ResourceEstimate, estimate_resources
-from ..fpga.throughput import accelerator_throughput_gbps
 from ..rulesets.ruleset import RuleSet
 
 

@@ -492,6 +492,25 @@ class Session:
             }
         return out
 
+    def verify(self):
+        """Statically verify this session's compiled program and ruleset.
+
+        Returns a :class:`repro.check.Report` combining the program
+        verifier (DTP exactness, packing round-trips, ...) and the ruleset
+        linter — no traffic is scanned, so it is safe to call before
+        serving.  A hot-reload supervisor can refuse to swap in a program
+        whose report is not ``ok``.
+        """
+        from ..check import lint_ruleset, merge_reports, verify_program
+
+        return merge_reports(
+            f"session verify ({self.config.engine.backend})",
+            [
+                verify_program(self.program, patterns=self.ruleset.patterns),
+                lint_ruleset(self.ruleset),
+            ],
+        )
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release engine resources (worker pools); idempotent."""

@@ -20,7 +20,7 @@ reported in the original paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..backend import CompiledProgramMixin, FlowState, ScanState, advance_history
 from .aho_corasick import AhoCorasickNFA
@@ -98,6 +98,17 @@ class BitmapAhoCorasick(CompiledProgramMixin):
             return None
         below = bitmap & ((1 << byte) - 1)
         return self.children_arrays[state][bin(below).count("1")]
+
+    def children_of(self, state: int) -> Iterator[Tuple[int, int]]:
+        """Decode a state's ``(byte, child)`` edges through the bitmap and
+        popcount indexing — the exact lookup the scan performs, exposed so
+        the static verifier checks the encoding rather than the source
+        trie."""
+        bitmap = self.bitmaps[state]
+        for byte in range(256):
+            if (bitmap >> byte) & 1:
+                below = bitmap & ((1 << byte) - 1)
+                yield byte, self.children_arrays[state][bin(below).count("1")]
 
     @property
     def patterns(self) -> Tuple[bytes, ...]:

@@ -134,6 +134,11 @@ class PathCompressedAhoCorasick(CompiledProgramMixin):
             for s in chain:
                 self._node_of_state[s] = node_id
 
+    def node_of(self, state: int) -> int:
+        """Index into :attr:`nodes` of the node storing ``state`` — the
+        compression cover, exposed for the static verifier."""
+        return self._node_of_state[state]
+
     # ------------------------------------------------------------------
     # matching (state-level semantics are unchanged; compression only
     # affects storage, so we scan with the underlying failure automaton)

@@ -34,7 +34,7 @@ class WuManber(CompiledProgramMixin):
 
     def __init__(self, patterns: Sequence[bytes], block_size: int = 2):
         if block_size < 1:
-            raise ValueError("block_size must be >= 1")
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
         if not patterns:
             raise ValueError("at least one pattern is required")
         for pattern in patterns:

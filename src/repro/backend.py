@@ -224,6 +224,18 @@ class CompiledProgramMixin:
         """Scan several packets; state resets per packet."""
         return [self.match(payload) for payload in payloads]
 
+    def verify(self, patterns: Optional[Sequence[bytes]] = None):
+        """Statically verify this compiled program (no traffic scanned).
+
+        Returns a :class:`repro.check.Report`; ``report.ok`` is False if
+        the artifact provably deviates from its patterns.  Imported
+        lazily — this module sits below :mod:`repro.check` in the layer
+        order.
+        """
+        from .check import verify_program
+
+        return verify_program(self, patterns=patterns)
+
 
 @dataclass(frozen=True)
 class Backend:

@@ -23,7 +23,6 @@ decoding is :mod:`repro.capture.frames` and scan-layer replay is
 
 from __future__ import annotations
 
-import os
 import struct
 from dataclasses import dataclass, field
 from typing import BinaryIO, Iterable, List, Optional, Tuple, Union

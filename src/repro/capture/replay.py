@@ -26,7 +26,7 @@ without any hand-wiring.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..traffic.packet import Packet
 from .frames import FrameEncodeError, decode_frame, encode_frame

@@ -1,0 +1,169 @@
+"""Typed findings shared by every static checker in :mod:`repro.check`.
+
+A :class:`Diagnostic` is one finding with a severity, a stable code (``DTP002``,
+``RS001``, ``IDM103``, ...) and provenance — the state, byte, rule or source
+location the finding is about.  A :class:`Report` is an ordered collection of
+them with the aggregation helpers the CLI and :meth:`repro.api.Session.verify`
+need (error counting, JSON serialisation, text rendering).
+
+Severity semantics follow the usual linter convention:
+
+* ``error``   — the artifact is wrong; scanning with it can mis-match.
+* ``warning`` — legal but suspicious (duplicate alerts, hardware-capacity
+  overruns the repair pass would have to fix).
+* ``info``    — observations that carry no judgement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static check."""
+
+    severity: str
+    code: str
+    message: str
+    #: automaton state id the finding is about (program verifier)
+    state: Optional[int] = None
+    #: input byte value the finding is about (program verifier)
+    byte: Optional[int] = None
+    #: pattern id / sid / rule-file line the finding is about (linter)
+    rule: Optional[int] = None
+    #: originating check context, e.g. ``"dtp"``, ``"block[2]"``, ``"cli.py:41"``
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_ORDER:
+            raise ValueError(
+                f"severity must be one of {sorted(_SEVERITY_ORDER)}, got {self.severity!r}"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON artifact / ``--json`` output)."""
+        return {key: value for key, value in asdict(self).items() if value not in (None, "")}
+
+    def render(self) -> str:
+        """One-line human form: ``error DTP002 [dtp state=3 byte=0x69] message``."""
+        where = []
+        if self.source:
+            where.append(self.source)
+        if self.state is not None:
+            where.append(f"state={self.state}")
+        if self.byte is not None:
+            where.append(f"byte=0x{self.byte:02x}")
+        if self.rule is not None:
+            where.append(f"rule={self.rule}")
+        location = f" [{' '.join(where)}]" if where else ""
+        return f"{self.severity} {self.code}{location} {self.message}"
+
+
+@dataclass
+class Report:
+    """An ordered collection of diagnostics plus aggregation helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: free-form description of what was checked (shown in headers / JSON)
+    subject: str = ""
+
+    def add(
+        self,
+        severity: str,
+        code: str,
+        message: str,
+        *,
+        state: Optional[int] = None,
+        byte: Optional[int] = None,
+        rule: Optional[int] = None,
+        source: str = "",
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(
+            severity=severity,
+            code=code,
+            message=message,
+            state=state,
+            byte=byte,
+            rule=rule,
+            source=source,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "Report") -> "Report":
+        """Absorb another report's diagnostics (subject is kept)."""
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings/info do not fail a check)."""
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        out = {ERROR: 0, WARNING: 0, INFO: 0}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.severity] += 1
+        return out
+
+    def sorted(self) -> List[Diagnostic]:
+        """Diagnostics ordered by severity, then insertion order."""
+        return sorted(
+            self.diagnostics, key=lambda d: _SEVERITY_ORDER[d.severity]
+        )
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        counts = self.counts()
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": counts[ERROR],
+            "warnings": counts[WARNING],
+            "diagnostics": [d.as_dict() for d in self.sorted()],
+        }
+
+    def render(self, limit: Optional[int] = 50) -> str:
+        """Multi-line human rendering; at most ``limit`` findings are shown."""
+        counts = self.counts()
+        header = (
+            f"{self.subject or 'check'}: "
+            f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s)"
+        )
+        shown = self.sorted()
+        lines = [header]
+        if limit is not None and len(shown) > limit:
+            lines.extend(f"  {d.render()}" for d in shown[:limit])
+            lines.append(f"  ... {len(shown) - limit} more finding(s) suppressed")
+        else:
+            lines.extend(f"  {d.render()}" for d in shown)
+        return "\n".join(lines)
+
+
+def merge_reports(subject: str, reports: Iterable[Report]) -> Report:
+    """Concatenate several reports under one subject line."""
+    merged = Report(subject=subject)
+    for report in reports:
+        merged.extend(report)
+    return merged

@@ -15,6 +15,12 @@ figure can be regenerated from a shell:
   ``--pcap`` to run on a capture instead of synthetic flows);
 * ``run``              — execute a declarative pipeline config file (JSON or
   TOML) through :class:`repro.api.Session`;
+* ``lint``             — lint a ruleset (shadowed/duplicate patterns, sid
+  conflicts, hardware-capacity overruns) or, with ``--code``, run the CLI
+  error-idiom AST checker over source paths;
+* ``verify``           — statically prove a compiled program correct (DTP
+  pruning exactness, packing round-trips, cross-backend equivalence) without
+  scanning a byte of traffic;
 * ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
 * ``fig6`` / ``fig7`` / ``fig8``       — regenerate the paper's figures as text.
 
@@ -37,6 +43,7 @@ exit 1.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -123,6 +130,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    _require_count("--packets", args.packets)
+    _require_count("--payload", args.payload)
     config = PipelineConfig(
         mode="packets",
         source=SourceSpec(
@@ -216,6 +225,8 @@ def _cmd_scan_stream(args: argparse.Namespace) -> int:
     _require_count("--shards", args.shards)
     _require_count("--workers", args.workers)
     _require_count("--flow-capacity", args.flow_capacity)
+    _require_count("--flows", args.flows)
+    _require_count("--packets-per-flow", args.packets_per_flow)
     sinks = ()
     if args.export_pcap:
         # the sink follows the extension so the file's magic matches its name
@@ -439,6 +450,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_ids(args: argparse.Namespace) -> int:
     _require_count("--workers", args.workers)
+    _require_count("--flows", args.flows)
+    _require_count("--packets-per-flow", args.packets_per_flow)
     if args.rules:
         # real rules only make sense against real traffic: the synthetic
         # flow generator injects patterns from the synthetic ruleset
@@ -542,6 +555,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 1
     return 0
+
+
+def _ruleset_for_check(args: argparse.Namespace):
+    """The ruleset ``lint``/``verify`` operate on: a Snort rules file when
+    ``--rules`` is given, else the synthetic ``--size``/``--seed`` ruleset.
+    Parse errors raise their raw tracebacks (the bad-input idiom)."""
+    if args.rules:
+        from .rulesets import parse_rules, ruleset_from_specs
+
+        with open(args.rules, "r", encoding="utf-8") as handle:
+            return ruleset_from_specs(parse_rules(handle))
+    return generate_snort_like_ruleset(args.size, seed=args.seed)
+
+
+def _write_report_json(report, path: Optional[str]) -> None:
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .check import check_paths, lint_rule_file, lint_ruleset
+
+    if args.code:
+        report = check_paths(args.code)
+    elif args.rules:
+        report = lint_rule_file(args.rules)
+    else:
+        report = lint_ruleset(generate_snort_like_ruleset(args.size, seed=args.seed))
+    _write_report_json(report, args.json)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .backend import get_backend
+    from .check import (
+        AUTOMATON_BACKENDS,
+        merge_reports,
+        verify_cross_backend,
+        verify_program,
+    )
+
+    ruleset = _ruleset_for_check(args)
+    patterns = tuple(ruleset.patterns)
+    reports = []
+    if args.backend == "all":
+        for name in AUTOMATON_BACKENDS:
+            reports.append(verify_program(get_backend(name).compile(patterns)))
+        reports.append(verify_cross_backend(patterns))
+    elif args.backend == "dtp":
+        # the paper's backend gets the full hardware-level audit: per-block
+        # DTP exactness, lookup encoding, word packing, match memory, image
+        program = compile_ruleset(ruleset, get_device(args.device))
+        reports.append(verify_program(program))
+        reports.append(verify_cross_backend(patterns))
+    else:
+        reports.append(verify_program(get_backend(args.backend).compile(patterns)))
+    report = merge_reports(
+        f"verify {args.backend} over {len(patterns)} pattern(s) "
+        f"({ruleset.name})",
+        reports,
+    )
+    _write_report_json(report, args.json)
+    print(report.render())
+    for sub in reports:
+        status = "proved" if sub.ok else "FAILED"
+        print(f"  {status}: {sub.subject}")
+    return 0 if report.ok else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -777,6 +860,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="pipeline config file; relative paths inside it "
                           "resolve against its own directory")
     run.set_defaults(handler=_cmd_run)
+
+    lint = subparsers.add_parser(
+        "lint", help="lint a ruleset (or code paths) without compiling it"
+    )
+    lint.add_argument("--rules", metavar="FILE",
+                      help="Snort rules file to lint line by line (default: "
+                           "the synthetic --size/--seed ruleset)")
+    _add_ruleset_arguments(lint)
+    lint.add_argument("--code", nargs="+", metavar="PATH",
+                      help="run the CLI error-idiom AST checker over these "
+                           "files/directories instead of linting a ruleset")
+    lint.add_argument("--json", metavar="PATH",
+                      help="also write the diagnostics as a JSON report")
+    lint.set_defaults(handler=_cmd_lint)
+
+    verify = subparsers.add_parser(
+        "verify", help="statically prove a compiled program correct "
+                       "(no traffic scanned)"
+    )
+    verify.add_argument("--rules", metavar="FILE",
+                        help="Snort rules file to compile and verify (default: "
+                             "the synthetic --size/--seed ruleset)")
+    _add_ruleset_arguments(verify)
+    verify.add_argument("--backend", default="dtp",
+                        choices=backend_names() + ["all"],
+                        help="backend to verify; 'dtp' adds the hardware-level "
+                             "checks, 'all' proves cross-backend equivalence")
+    verify.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
+    verify.add_argument("--json", metavar="PATH",
+                        help="also write the diagnostics as a JSON report")
+    verify.set_defaults(handler=_cmd_verify)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table I")
     table1.set_defaults(handler=_cmd_table1)

@@ -16,13 +16,13 @@ update time:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..automata.aho_corasick import AhoCorasickDFA
 from ..backend import CompiledProgramMixin, FlowState
 from ..fpga.devices import FPGADevice
-from ..fpga.throughput import accelerator_throughput_gbps, block_throughput_gbps
+from ..fpga.throughput import accelerator_throughput_gbps
 from ..rulesets.ruleset import RuleSet
 from .default_transitions import build_default_transition_table
 from .dtp_automaton import (
@@ -303,7 +303,7 @@ def compile_ruleset(
     candidates: Sequence[int]
     if blocks_per_group is not None:
         if blocks_per_group <= 0:
-            raise CompilationError("blocks_per_group must be positive")
+            raise CompilationError(f"blocks_per_group must be positive, got {blocks_per_group}")
         if blocks_per_group > device.num_matching_blocks:
             raise CompilationError(
                 f"requested {blocks_per_group} blocks per group but {device.family} "

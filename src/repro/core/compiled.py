@@ -138,6 +138,14 @@ class CompiledDenseProgram(CompiledProgramMixin):
         """Pattern ids reported when ``state`` is entered (packed-array view)."""
         return self.match_pids[self.match_index[state]:self.match_index[state + 1]]
 
+    @property
+    def signed_table(self) -> np.ndarray:
+        """The hot-loop flat table re-shaped: ``abs`` is the target state,
+        the sign marks transitions into matching states.  Exposed for the
+        static verifier (:mod:`repro.check`), which proves it consistent
+        with :attr:`table` instead of trusting the constructor."""
+        return np.asarray(self._flat, dtype=np.int64).reshape(self.table.shape)
+
     def _scan_chunk(self, states: FlowState, chunk: bytes) -> Tuple[MatchList, FlowState]:
         (scan_state,) = states
         state = scan_state.state

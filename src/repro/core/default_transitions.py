@@ -27,7 +27,7 @@ tests for the machine-checked argument).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -168,7 +168,7 @@ def build_default_transition_table(
         and one depth-3 default per character).
     """
     if d2_slots < 0:
-        raise ValueError("d2_slots must be non-negative")
+        raise ValueError(f"d2_slots must be non-negative, got {d2_slots}")
 
     trie = dfa.trie
     d1 = np.full(ALPHABET_SIZE, ROOT, dtype=np.int64)
@@ -288,7 +288,7 @@ def enforce_pointer_limit(
     Returns ``True`` when all states are within the limit afterwards.
     """
     if limit < 1:
-        raise ValueError("limit must be positive")
+        raise ValueError(f"limit must be positive, got {limit}")
     in_degree = np.bincount(dfa.table.ravel(), minlength=dfa.num_states)
     counts = _stored_pointer_counts(dfa, table)
 

@@ -29,13 +29,13 @@ paper's guaranteed-rate property.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..automata.aho_corasick import AhoCorasickDFA
-from ..automata.trie import ALPHABET_SIZE, ROOT, Trie
+from ..automata.trie import ALPHABET_SIZE, ROOT
 from ..backend import CompiledProgramMixin, FlowState, ScanState
 from .default_transitions import DefaultTransitionTable, build_default_transition_table
 

@@ -26,7 +26,7 @@ out-of-band metadata (``d2_valid`` / ``d3_valid``) and report the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..automata.trie import ALPHABET_SIZE, ROOT

@@ -11,7 +11,7 @@ first word of its list.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Geometry from the paper.
 MATCH_MEMORY_WORDS = 2048

@@ -20,7 +20,7 @@ deterministic — this is what lets the hardware omit addresses from the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..automata.trie import ROOT
 from .dtp_automaton import DTPAutomaton
@@ -30,9 +30,7 @@ from .state_types import (
     CHAR_BITS,
     MATCH_INFO_BITS,
     POINTER_BITS,
-    SLOT_BITS,
     SLOTS_PER_WORD,
-    TYPE_BITS,
     WORD_BITS,
     StateType,
     slots_for_pointer_count,

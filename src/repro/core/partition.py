@@ -66,7 +66,7 @@ def partition_ruleset(
 ) -> PartitionPlan:
     """Split ``ruleset`` into ``num_groups`` groups for separate blocks."""
     if num_groups <= 0:
-        raise ValueError("num_groups must be positive")
+        raise ValueError(f"num_groups must be positive, got {num_groups}")
     if len(ruleset) == 0:
         raise ValueError("cannot partition an empty ruleset")
     if num_groups > len(ruleset):

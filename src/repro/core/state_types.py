@@ -121,7 +121,7 @@ def type_for_placement(slots: int, start_slot: int) -> StateType:
 def slots_for_pointer_count(num_pointers: int) -> int:
     """Slots needed for a state with ``num_pointers`` transition pointers."""
     if num_pointers < 0:
-        raise ValueError("num_pointers must be non-negative")
+        raise ValueError(f"num_pointers must be non-negative, got {num_pointers}")
     for slots in sorted(SIZE_CLASSES):
         low, high = SIZE_CLASSES[slots]
         if num_pointers <= high:

@@ -18,7 +18,7 @@ the number of block groups, which is what fans the curves out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from .devices import FPGADevice
 from .throughput import accelerator_throughput_gbps
@@ -52,14 +52,17 @@ class PowerModel:
             else dynamic_watts_per_mhz_per_block
         )
         if self.static_watts < 0 or self.dynamic_coefficient < 0:
-            raise ValueError("power coefficients must be non-negative")
+            raise ValueError(
+                f"power coefficients must be non-negative, got "
+                f"static={self.static_watts}, dynamic={self.dynamic_coefficient}"
+            )
 
     def power_watts(
         self, memory_clock_mhz: float, active_blocks: Optional[int] = None
     ) -> float:
         """Power at ``memory_clock_mhz`` with ``active_blocks`` blocks toggling."""
         if memory_clock_mhz < 0:
-            raise ValueError("memory_clock_mhz must be non-negative")
+            raise ValueError(f"memory_clock_mhz must be non-negative, got {memory_clock_mhz}")
         blocks = (
             self.device.num_matching_blocks if active_blocks is None else active_blocks
         )
@@ -85,7 +88,7 @@ class PowerModel:
         which sets the throughput achieved at each clock frequency.
         """
         if num_points < 2:
-            raise ValueError("num_points must be at least 2")
+            raise ValueError(f"num_points must be at least 2, got {num_points}")
         top = self.device.memory_fmax_mhz if max_clock_mhz is None else max_clock_mhz
         points: List[PowerPoint] = []
         for index in range(num_points):

@@ -108,7 +108,7 @@ def estimate_resources(
     """Estimate logic and block-RAM usage for ``num_blocks`` matching blocks."""
     blocks = device.num_matching_blocks if num_blocks is None else num_blocks
     if blocks <= 0:
-        raise ValueError("num_blocks must be positive")
+        raise ValueError(f"num_blocks must be positive, got {blocks}")
 
     breakdown: Dict[str, int] = {}
     per_block_m9k = 0

@@ -14,7 +14,7 @@ independent packet streams run concurrently and the aggregate throughput is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from .devices import FPGADevice
 
@@ -25,7 +25,7 @@ BITS_PER_CYCLE_PER_BLOCK = 16
 def block_throughput_gbps(memory_fmax_mhz: float) -> float:
     """Throughput of a single string matching block in Gbit/s."""
     if memory_fmax_mhz <= 0:
-        raise ValueError("memory_fmax_mhz must be positive")
+        raise ValueError(f"memory_fmax_mhz must be positive, got {memory_fmax_mhz}")
     return BITS_PER_CYCLE_PER_BLOCK * memory_fmax_mhz * 1e6 / 1e9
 
 
@@ -34,7 +34,10 @@ def accelerator_throughput_gbps(
 ) -> float:
     """Aggregate throughput when the ruleset occupies ``blocks_per_group`` blocks."""
     if total_blocks <= 0 or blocks_per_group <= 0:
-        raise ValueError("block counts must be positive")
+        raise ValueError(
+            f"block counts must be positive, got total_blocks={total_blocks}, "
+            f"blocks_per_group={blocks_per_group}"
+        )
     if blocks_per_group > total_blocks:
         raise ValueError(
             f"ruleset needs {blocks_per_group} blocks but the device has only {total_blocks}"
@@ -83,7 +86,7 @@ def device_throughput(device: FPGADevice, blocks_per_group: int) -> ThroughputPo
 def scan_time_seconds(payload_bytes: int, point: ThroughputPoint) -> float:
     """Time to stream ``payload_bytes`` through the accelerator."""
     if payload_bytes < 0:
-        raise ValueError("payload_bytes must be non-negative")
+        raise ValueError(f"payload_bytes must be non-negative, got {payload_bytes}")
     return payload_bytes / point.bytes_per_second if payload_bytes else 0.0
 
 

@@ -11,15 +11,15 @@ independently and throughput is maximised — the configuration behind the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..backend import FlowState, MatchList
 from ..core.accelerator_config import AcceleratorProgram
 from ..fpga.devices import FPGADevice
 from ..fpga.throughput import accelerator_throughput_gbps
 from ..traffic.packet import MatchEvent, Packet
-from .block import ENGINES_PER_BLOCK, BlockScanResult, StringMatchingBlock
+from .block import ENGINES_PER_BLOCK, StringMatchingBlock
 
 
 @dataclass

@@ -14,12 +14,12 @@ bytes per engine cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from ..core.accelerator_config import BlockProgram
 from ..traffic.packet import MatchEvent, Packet
-from .engine import EngineMatch, StringMatchingEngine
+from .engine import StringMatchingEngine
 from .image import BlockImage, build_block_image
 from .memory import DualPortMemory
 from .scheduler import MatchScheduler

@@ -18,8 +18,8 @@ match-memory address and engine number are handed to the match scheduler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 from .image import BlockImage, LookupEntry, StateAddress, StateEntry
 from .memory import DualPortMemory

@@ -15,7 +15,7 @@ lowers them to the address-level view the hardware works with:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..automata.trie import ROOT
 from ..core.accelerator_config import BlockProgram

@@ -10,8 +10,8 @@ than the time-multiplexed port provides.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, List, Tuple, TypeVar
 
 Key = TypeVar("Key", bound=Hashable)
 Value = TypeVar("Value")
@@ -48,9 +48,11 @@ class DualPortMemory(Generic[Key, Value]):
         ports: int = 2,
     ):
         if reads_per_cycle_per_port < 1:
-            raise ValueError("reads_per_cycle_per_port must be positive")
+            raise ValueError(
+                f"reads_per_cycle_per_port must be positive, got {reads_per_cycle_per_port}"
+            )
         if ports < 1:
-            raise ValueError("ports must be positive")
+            raise ValueError(f"ports must be positive, got {ports}")
         self.name = name
         self._contents = dict(contents)
         self.reads_per_cycle_per_port = reads_per_cycle_per_port

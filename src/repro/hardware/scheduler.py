@@ -12,8 +12,8 @@ numbers per word.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Tuple
 
 from ..core.match_memory import EMPTY_SLOT
 from ..traffic.packet import MatchEvent

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..traffic.packet import FiveTuple
 

@@ -14,7 +14,7 @@ used on a router line card:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..backend import CompiledProgram, get_backend
@@ -22,7 +22,7 @@ from ..core.accelerator_config import compile_ruleset
 from ..fpga.devices import FPGADevice, STRATIX_III
 from ..hardware.accelerator import HardwareAccelerator
 from ..rulesets.parser import SidAllocator, SnortRuleSpec
-from ..rulesets.ruleset import PatternRule, RuleSet
+from ..rulesets.ruleset import RuleSet
 from ..streaming.executor import ParallelScanService
 from ..streaming.flow import DEFAULT_FLOW_CAPACITY, FlowEntry, FlowKey
 from ..streaming.scanner import StreamScanner
@@ -101,7 +101,7 @@ class IntrusionDetectionSystem:
         workers: Optional[int] = None,
     ):
         if workers is not None and workers < 1:
-            raise ValueError("workers must be at least 1")
+            raise ValueError(f"workers must be at least 1, got {workers}")
         if not rules:
             raise ValueError("at least one rule is required")
         self.rules: Dict[int, IDSRule] = {}

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence
 
 
@@ -35,7 +35,7 @@ class LengthDistribution:
             if weight < 0:
                 raise ValueError(f"weight must be non-negative, got {weight}")
         if sum(self.weights.values()) <= 0:
-            raise ValueError("total weight must be positive")
+            raise ValueError(f"total weight must be positive, got {sum(self.weights.values())}")
 
     # ------------------------------------------------------------------
     @property

@@ -120,7 +120,7 @@ class ContentModel:
 
     def generate(self, length: int) -> bytes:
         if length <= 0:
-            raise ValueError("length must be positive")
+            raise ValueError(f"length must be positive, got {length}")
         style = self._pick_style()
         if length <= self.SHORT_PATTERN_LENGTH:
             return self._short_pattern(length, style)
@@ -205,7 +205,10 @@ class _BranchingTracker:
 
     def __init__(self, depth1_cap: int, depth2_cap: int, deep_cap: int):
         if min(depth1_cap, depth2_cap, deep_cap) < 2:
-            raise ValueError("branching caps must be at least 2")
+            raise ValueError(
+                f"branching caps must be at least 2, got "
+                f"{min(depth1_cap, depth2_cap, deep_cap)}"
+            )
         self.depth1_cap = depth1_cap
         self.depth2_cap = depth2_cap
         self.deep_cap = deep_cap
@@ -273,7 +276,7 @@ def generate_snort_like_ruleset(
     sized for.
     """
     if num_strings <= 0:
-        raise ValueError("num_strings must be positive")
+        raise ValueError(f"num_strings must be positive, got {num_strings}")
     distribution = distribution or FIGURE6_DISTRIBUTION
     rng = random.Random(seed)
     content = ContentModel(rng, content_config)

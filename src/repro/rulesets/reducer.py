@@ -33,7 +33,7 @@ def reduce_ruleset(
     are chosen uniformly at random.
     """
     if target_count <= 0:
-        raise ValueError("target_count must be positive")
+        raise ValueError(f"target_count must be positive, got {target_count}")
     if target_count > len(ruleset):
         raise ValueError(
             f"target_count {target_count} exceeds ruleset size {len(ruleset)}"
@@ -48,8 +48,12 @@ def reduce_ruleset(
     raw_share = {length: target_count * len(rules) / total for length, rules in groups.items()}
     keep = {length: int(math.floor(share)) for length, share in raw_share.items()}
     remainder = target_count - sum(keep.values())
+    # Ties (equal fractional parts) break on the stratum length, never on
+    # dict insertion order, so seed= fully determines the output even when
+    # the same rule multiset arrives in a different order.
     by_fraction = sorted(
-        raw_share.items(), key=lambda item: item[1] - math.floor(item[1]), reverse=True
+        raw_share.items(),
+        key=lambda item: (math.floor(item[1]) - item[1], item[0]),
     )
     for length, _ in by_fraction:
         if remainder <= 0:
@@ -57,9 +61,13 @@ def reduce_ruleset(
         if keep[length] < len(groups[length]):
             keep[length] += 1
             remainder -= 1
-    # If some strata were saturated, spill the remainder anywhere there is room.
+    # If some strata were saturated, spill the remainder anywhere there is
+    # room — roomiest stratum first, ties again broken by length.
     if remainder > 0:
-        for length in sorted(groups, key=lambda l: len(groups[l]) - keep[l], reverse=True):
+        spill_order = sorted(
+            groups, key=lambda length: (keep[length] - len(groups[length]), length)
+        )
+        for length in spill_order:
             while remainder > 0 and keep[length] < len(groups[length]):
                 keep[length] += 1
                 remainder -= 1
@@ -88,7 +96,7 @@ def reduce_to_character_count(
     requested count.
     """
     if target_characters <= 0:
-        raise ValueError("target_characters must be positive")
+        raise ValueError(f"target_characters must be positive, got {target_characters}")
     if target_characters >= ruleset.total_characters:
         return RuleSet(list(ruleset), name=name or f"{ruleset.name}-chars")
 
@@ -107,8 +115,8 @@ def reduce_to_character_count(
     remaining = {length: list(rules) for length, rules in shuffled.items()}
     weights = dict(population)
     while any(remaining.values()):
-        lengths = [l for l in remaining if remaining[l]]
-        total_weight = sum(weights[l] for l in lengths)
+        lengths = [length for length in remaining if remaining[length]]
+        total_weight = sum(weights[length] for length in lengths)
         pick = rng.random() * total_weight
         running = 0.0
         chosen = lengths[-1]

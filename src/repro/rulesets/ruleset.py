@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
@@ -148,7 +148,7 @@ class RuleSet:
         """Round-robin split into ``num_groups`` child rulesets (see core.partition
         for the size-balanced strategy used by the accelerator compiler)."""
         if num_groups <= 0:
-            raise ValueError("num_groups must be positive")
+            raise ValueError(f"num_groups must be positive, got {num_groups}")
         groups: List[RuleSet] = [
             RuleSet(name=f"{self.name}/part{i}") for i in range(num_groups)
         ]

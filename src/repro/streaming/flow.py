@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..backend import ScanState
 from ..traffic.packet import FiveTuple
@@ -197,7 +197,7 @@ class FlowTable:
         on_evict: Optional[Callable[[FlowEntry], None]] = None,
     ):
         if capacity < 1:
-            raise ValueError("capacity must be at least 1")
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
         self.capacity = capacity
         self.on_evict = on_evict
         self.stats = FlowTableStatistics()

@@ -45,7 +45,7 @@ import struct
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..capture.frames import decode_frame
 from ..capture.pcap import CaptureError, PCAP_MAGIC_MICRO, PCAP_MAGIC_NANO

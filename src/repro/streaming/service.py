@@ -95,7 +95,7 @@ class ShardedScanServiceBase:
     @staticmethod
     def _validate_num_shards(num_shards: int) -> None:
         if num_shards < 1:
-            raise ValueError("num_shards must be at least 1")
+            raise ValueError(f"num_shards must be at least 1, got {num_shards}")
 
     def shard_for(self, key: FlowKey) -> int:
         """Stable flow -> shard mapping (CRC32 of the canonical 5-tuple)."""

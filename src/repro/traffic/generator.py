@@ -40,13 +40,13 @@ class TrafficProfile:
 
     def __post_init__(self) -> None:
         if self.mean_payload_bytes <= 0:
-            raise ValueError("mean_payload_bytes must be positive")
+            raise ValueError(f"mean_payload_bytes must be positive, got {self.mean_payload_bytes}")
         if self.min_payload_bytes <= 0 or self.max_payload_bytes < self.min_payload_bytes:
             raise ValueError("invalid payload size bounds")
         if not 0.0 <= self.attack_probability <= 1.0:
-            raise ValueError("attack_probability must be in [0, 1]")
+            raise ValueError(f"attack_probability must be in [0, 1], got {self.attack_probability}")
         if self.max_injected < 1:
-            raise ValueError("max_injected must be at least 1")
+            raise ValueError(f"max_injected must be at least 1, got {self.max_injected}")
 
 
 @dataclass
@@ -141,7 +141,7 @@ class TrafficGenerator:
 
     def packets(self, count: int) -> List[Packet]:
         if count < 0:
-            raise ValueError("count must be non-negative")
+            raise ValueError(f"count must be non-negative, got {count}")
         return [self.packet() for _ in range(count)]
 
     def stream(self) -> Iterator[Packet]:
@@ -173,10 +173,10 @@ class TrafficGenerator:
         single segments (detectable either way).
         """
         if num_packets < 1:
-            raise ValueError("num_packets must be at least 1")
+            raise ValueError(f"num_packets must be at least 1, got {num_packets}")
         if segment_bytes is not None and segment_bytes < 1:
             # 0 must not silently fall back to the profile's random size
-            raise ValueError("segment_bytes must be at least 1")
+            raise ValueError(f"segment_bytes must be at least 1, got {segment_bytes}")
         if split_segments not in (2, 3):
             raise ValueError("split_segments must be 2 or 3")
         if split_patterns > 0 and num_packets < split_segments:
@@ -288,7 +288,7 @@ class TrafficGenerator:
     def flows(self, count: int, **kwargs) -> List[GeneratedFlow]:
         """Generate ``count`` independent flows (see :meth:`flow`)."""
         if count < 0:
-            raise ValueError("count must be non-negative")
+            raise ValueError(f"count must be non-negative, got {count}")
         return [self.flow(**kwargs) for _ in range(count)]
 
     @staticmethod

@@ -5,7 +5,7 @@ import pytest
 from repro.automata import AhoCorasickDFA
 from repro.core import CompilationError, compile_ruleset
 from repro.core.dtp_automaton import HARDWARE_MAX_POINTERS
-from repro.fpga import CYCLONE_III, STRATIX_III
+from repro.fpga import STRATIX_III
 from repro.rulesets import RuleSet, generate_snort_like_ruleset
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the Aho-Corasick NFA (failure function) and DFA (move function)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

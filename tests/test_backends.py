@@ -26,7 +26,7 @@ from repro.hardware import HardwareAccelerator
 from repro.ids import IDSRule, IntrusionDetectionSystem
 from repro.ids.classifier import HeaderPattern
 from repro.rulesets import generate_snort_like_ruleset
-from repro.streaming import FlowKey, FlowTable, ScanService, StreamScanner
+from repro.streaming import FlowKey, FlowTable, StreamScanner
 from repro.traffic import TrafficGenerator
 
 ALL_BACKENDS = ("ac", "bitmap", "dense", "dtp", "path", "wu-manber")

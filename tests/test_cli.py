@@ -6,7 +6,6 @@ import pathlib
 import pytest
 
 from repro.api import ConfigError, repro_version
-from repro.capture import CaptureError
 from repro.cli import build_parser, main
 from repro.rulesets import RuleParseError
 
@@ -17,7 +16,8 @@ def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
     for command in ("generate-ruleset", "compile", "scan", "scan-stream",
-                    "run", "table1", "table2", "table3", "fig6", "fig7", "fig8"):
+                    "run", "lint", "verify",
+                    "table1", "table2", "table3", "fig6", "fig7", "fig8"):
         assert command in text
     # the epilog records the producing version next to the config-file story
     assert f"version {repro_version()}" in text
@@ -298,6 +298,20 @@ def test_run_example_pipeline_config(tmp_path, capsys):
                      id="scan-stream-zero-segment-bytes"),
         pytest.param(["ids", "--size", "20", "--seed", "2", "--flows", "2",
                       "--workers", "0"], ValueError, id="ids-zero-workers"),
+        # flow/packet counts, locked by the IDM106 idiom lint: every count
+        # flag a handler reads must be checked before any work happens
+        pytest.param(["scan", "--size", "20", "--seed", "2", "--packets", "0"],
+                     ValueError, id="scan-zero-packets"),
+        pytest.param(["scan-stream", "--size", "20", "--seed", "2",
+                      "--flows", "0"], ValueError, id="scan-stream-zero-flows"),
+        pytest.param(["scan-stream", "--size", "20", "--seed", "2", "--flows", "2",
+                      "--packets-per-flow", "0"], ValueError,
+                     id="scan-stream-zero-packets-per-flow"),
+        pytest.param(["ids", "--size", "20", "--seed", "2", "--flows", "0"],
+                     ValueError, id="ids-zero-flows"),
+        pytest.param(["ids", "--size", "20", "--seed", "2", "--flows", "2",
+                      "--packets-per-flow", "0"], ValueError,
+                     id="ids-zero-packets-per-flow"),
         # count flags are range-checked before the capture is even opened,
         # so a placeholder path exercises the validation alone
         pytest.param(["scan-pcap", "unused.pcap", "--workers", "0"],

@@ -10,7 +10,6 @@
 import pathlib
 import re
 
-import pytest
 
 from repro.cli import build_parser
 

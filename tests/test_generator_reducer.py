@@ -6,11 +6,24 @@ from repro.automata import Trie
 from repro.rulesets import (
     FIGURE6_DISTRIBUTION,
     ContentModelConfig,
+    PatternRule,
+    RuleSet,
     generate_paper_rulesets,
     generate_snort_like_ruleset,
     reduce_ruleset,
     reduce_to_character_count,
 )
+
+
+def _length_strata(spec):
+    """Distinct rules laid out as ``{length: population}`` strata."""
+    rules = []
+    sid = 1
+    for length in sorted(spec):
+        for k in range(spec[length]):
+            rules.append(PatternRule(pattern=bytes([65 + k]) * length, sid=sid))
+            sid += 1
+    return rules
 
 
 class TestGenerator:
@@ -102,6 +115,42 @@ class TestReducer:
             reduce_ruleset(medium_ruleset, 77, seed=5).patterns
             == reduce_ruleset(medium_ruleset, 77, seed=5).patterns
         )
+
+    def test_reduce_near_saturation_keeps_strata_proportional(self):
+        # target 8 of 9: every stratum floors to 2, and the two-unit
+        # remainder saturates the two shortest strata (fraction tie broken
+        # by length), leaving the longest one short
+        ruleset = RuleSet(_length_strata({3: 3, 4: 3, 5: 3}), name="sat")
+        reduced = reduce_ruleset(ruleset, 8, seed=0)
+        assert len(reduced) == 8
+        assert reduced.length_histogram() == {3: 3, 4: 3, 5: 2}
+
+    def test_reduce_fraction_tie_breaks_by_length(self):
+        # all three strata have fractional part 1/3; the single remainder
+        # unit must land on the shortest stratum, for every seed
+        ruleset = RuleSet(_length_strata({3: 3, 4: 3, 5: 3}), name="tie")
+        for seed in (0, 1, 99):
+            assert reduce_ruleset(ruleset, 7, seed=seed).length_histogram() == {
+                3: 3, 4: 2, 5: 2,
+            }
+
+    def test_reduce_to_single_rule(self):
+        ruleset = RuleSet(_length_strata({3: 2, 5: 2}), name="one")
+        reduced = reduce_ruleset(ruleset, 1, seed=4)
+        assert reduced.length_histogram() == {3: 1}
+
+    def test_reduce_insertion_order_invariant(self):
+        # the same rule multiset presented in opposite insertion orders must
+        # keep identical per-stratum counts — tie-breaks depend on stratum
+        # length, never on dict insertion order
+        rules = _length_strata({2: 4, 6: 5, 9: 3})
+        forward = RuleSet(list(rules), name="fwd")
+        backward = RuleSet(list(reversed(rules)), name="bwd")
+        for target in (1, 5, 11):
+            assert (
+                reduce_ruleset(forward, target, seed=8).length_histogram()
+                == reduce_ruleset(backward, target, seed=8).length_histogram()
+            )
 
     def test_reduce_to_character_count(self, medium_ruleset):
         target = 2000

@@ -1,6 +1,5 @@
 """Cross-module integration tests: the whole pipeline, end to end."""
 
-import pytest
 
 from repro.automata import AhoCorasickDFA, AhoCorasickNFA, WuManber
 from repro.core import DTPAutomaton, compile_ruleset

@@ -1,15 +1,12 @@
 """Tests for the 256 x 49-bit lookup-table encoding."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.automata import AhoCorasickDFA
 from repro.automata.trie import ROOT
 from repro.core import (
     LOOKUP_TABLE_WORDS,
     LOOKUP_WORD_BITS,
-    DTPAutomaton,
     build_default_transition_table,
     encode_lookup_table,
 )

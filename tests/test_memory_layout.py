@@ -4,17 +4,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.automata.trie import ROOT
 from repro.core import DTPAutomaton, MatchMemory, PackingError, pack_state_machine
-from repro.core.memory_layout import (
-    PackedStateMachine,
-    Placement,
-    StateRecord,
-    _Packer,
-    build_state_records,
-    default_target_order,
-)
-from repro.core.state_types import SLOTS_PER_WORD, WORD_BITS
+from repro.core.memory_layout import StateRecord, _Packer, default_target_order
+from repro.core.state_types import WORD_BITS
 
 
 def _pack_sizes(pointer_counts):

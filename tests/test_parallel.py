@@ -21,14 +21,7 @@ from repro.core import compile_ruleset
 from repro.fpga import STRATIX_III
 from repro.ids import HeaderPattern, IDSRule, IntrusionDetectionSystem
 from repro.rulesets import RuleSet
-from repro.streaming import (
-    FlowEntry,
-    FlowKey,
-    FlowTable,
-    ParallelScanService,
-    ScanService,
-    StreamScanner,
-)
+from repro.streaming import FlowEntry, FlowKey, FlowTable, ParallelScanService, ScanService
 from repro.traffic import FiveTuple, Packet, TrafficGenerator
 
 WORKER_COUNTS = (1, 2, 4)

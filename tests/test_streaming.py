@@ -5,7 +5,6 @@ string split across consecutive packets of one flow is invisible to the
 per-packet scan path but must be found by the stateful flow scan.
 """
 
-import random
 
 import pytest
 
