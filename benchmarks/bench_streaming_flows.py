@@ -59,6 +59,27 @@ SMOKE_REPEATS = 3
 #: per-packet loop sat near 6x, so 3.0 has headroom for CI noise on both
 #: sides.
 SMOKE_MAX_RATIO = 3.0
+#: rules in the confirm-stage gate's ruleset (positional windows + negation
+#: on every rule, patterns absent from the traffic: a pure no-hit workload)
+SMOKE_CONFIRM_RULES = 16
+
+
+def _confirm_rule_lines(count: int):
+    """Synthesize confirm-heavy rules whose contents never occur in the
+    smoke traffic: every rule carries an anchored window and a negated
+    relative content, so the IDS runs the full two-stage pipeline with the
+    prefilter reporting nothing — the hot path the gate protects."""
+    lines = []
+    for index in range(count):
+        positive = f"|F0 {index:02X} C3 5A|"
+        negated = f"|E1 {index:02X} 99|"
+        lines.append(
+            "alert ip any any -> any any "
+            f'(content:"{positive}"; offset:0; depth:400; '
+            f'content:!"{negated}"; distance:0; within:64; '
+            f"sid:{9000 + index};)"
+        )
+    return lines
 
 
 def run_smoke(repeats: int = SMOKE_REPEATS) -> Dict:
@@ -76,9 +97,17 @@ def run_smoke(repeats: int = SMOKE_REPEATS) -> Dict:
     payloads = [packet.payload for packet in packets]
     payload_bytes = sum(len(payload) for payload in payloads)
 
+    from repro.ids import IntrusionDetectionSystem
+    from repro.rulesets import parse_rules
+
+    confirm_specs = parse_rules(_confirm_rule_lines(SMOKE_CONFIRM_RULES))
+
     raw_best = float("inf")
     service_best = float("inf")
+    ids_best = float("inf")
     cross_segment = 0
+    prefilter_hits = 0
+    confirm_alerts = 0
     for _ in range(repeats):
         start = time.perf_counter()
         for payload in payloads:
@@ -91,9 +120,21 @@ def run_smoke(repeats: int = SMOKE_REPEATS) -> Dict:
         service_best = min(service_best, time.perf_counter() - start)
         cross_segment = service.cross_segment_matches
 
+        # the full two-stage pipeline over the same segments: the confirm
+        # rules never hit, so this times prefilter + per-packet candidacy
+        # gating + end-of-flow negation finalization on the no-hit path
+        ids = IntrusionDetectionSystem.from_specs(confirm_specs, backend="dense")
+        start = time.perf_counter()
+        alerts = ids.scan_flow(packets) + ids.finish()
+        ids_best = min(ids_best, time.perf_counter() - start)
+        prefilter_hits = ids.stats.content_matches
+        confirm_alerts = len(alerts)
+
     raw_mb = payload_bytes / raw_best / 1e6
     service_mb = payload_bytes / service_best / 1e6
+    ids_mb = payload_bytes / ids_best / 1e6
     ratio = raw_mb / service_mb
+    ids_ratio = raw_mb / ids_mb
     return {
         "generated_by": "benchmarks/bench_streaming_flows.py --smoke",
         "seed": BENCH_SEED,
@@ -109,8 +150,14 @@ def run_smoke(repeats: int = SMOKE_REPEATS) -> Dict:
         "raw_backend_mb_per_s": raw_mb,
         "service_mb_per_s": service_mb,
         "service_vs_raw_backend_ratio": ratio,
+        "confirm_rules": SMOKE_CONFIRM_RULES,
+        "confirm_prefilter_hits": prefilter_hits,
+        "confirm_alerts": confirm_alerts,
+        "ids_confirm_mb_per_s": ids_mb,
+        "ids_confirm_vs_raw_backend_ratio": ids_ratio,
         "max_ratio": SMOKE_MAX_RATIO,
-        "within_threshold": ratio <= SMOKE_MAX_RATIO,
+        "within_threshold": ratio <= SMOKE_MAX_RATIO
+        and ids_ratio <= SMOKE_MAX_RATIO,
     }
 
 
@@ -133,6 +180,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{report['service_vs_raw_backend_ratio']:.2f}x "
         f"(max {report['max_ratio']}x)"
     )
+    print(
+        f"confirm-stage no-hit smoke: ids {report['ids_confirm_mb_per_s']:.2f} "
+        f"MB/s over {report['confirm_rules']} windowed+negated rules, ratio "
+        f"{report['ids_confirm_vs_raw_backend_ratio']:.2f}x "
+        f"(max {report['max_ratio']}x, {report['confirm_prefilter_hits']} "
+        f"prefilter hits, {report['confirm_alerts']} alerts)"
+    )
     print(f"wrote {args.output}")
     if not report["within_threshold"]:
         print("REGRESSION: service throughput fell past the hot-path threshold",
@@ -150,9 +204,13 @@ def test_streaming_smoke_gate(results_dir):
     assert report["raw_backend_mb_per_s"] > 0
     assert report["service_mb_per_s"] > 0
     assert report["cross_segment_matches"] > 0
+    # the confirm ruleset is built to never hit: all its cost is hot path
+    assert report["confirm_prefilter_hits"] == 0
+    assert report["confirm_alerts"] == 0
     assert report["within_threshold"], (
-        f"service is {report['service_vs_raw_backend_ratio']:.2f}x slower than "
-        f"the raw backend (max {report['max_ratio']}x)"
+        f"service is {report['service_vs_raw_backend_ratio']:.2f}x and the "
+        f"confirm-stage ids {report['ids_confirm_vs_raw_backend_ratio']:.2f}x "
+        f"slower than the raw backend (max {report['max_ratio']}x)"
     )
 
 

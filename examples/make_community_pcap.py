@@ -1,0 +1,73 @@
+"""Synthesise a capture whose flows exercise ``community_sample.rules``.
+
+Writes a small pcap with HTTP and DNS flows that trip every rule in
+``examples/community_sample.rules`` — anchored multi-content, nocase+pcre,
+and the negated-content rule (one flow violates it, one satisfies it) — so
+the CI smoke can drive ``scan-pcap`` and ``ids --pcap`` over genuine
+community-style rules:
+
+    python examples/make_community_pcap.py community_sample.pcap
+"""
+
+import sys
+
+from repro.capture import write_packets
+from repro.traffic.packet import FiveTuple, Packet
+
+
+def build_packets():
+    def flow(fid, payloads, sport, proto="tcp", dport=80, dst="192.168.0.1"):
+        return [
+            (
+                FiveTuple(
+                    src_ip=f"10.0.0.{fid}",
+                    dst_ip=dst,
+                    src_port=sport,
+                    dst_port=dport,
+                    protocol=proto,
+                ),
+                payload,
+            )
+            for payload in payloads
+        ]
+
+    items = []
+    # sid 2000001 (GET ... HTTP/1.1, split across segments) and
+    # sid 2000002 (upper-case cmd.exe confirmed by the pcre)
+    items += flow(
+        1,
+        [b"GET /scripts/..%2f../CMD.EXE?/c+dir ", b"HTTP/1.1\r\nHost: x\r\n\r\n"],
+        1111,
+    )
+    # sid 2000003: POST that never sends Content-Length (decided at flow end)
+    items += flow(2, [b"POST /upload HTTP/1.1\r\n", b"Host: y\r\n\r\nbody"], 2222)
+    # counter-example: the header is present (lower-case, the rule is nocase),
+    # so the negated content suppresses the alert
+    items += flow(3, [b"POST /a HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd"], 3333)
+    # sid 2000004: DNS A query for baddomain
+    items += flow(
+        9,
+        [
+            b"\xab\xcd\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+            b"\x09baddomain\x03com\x00\x00\x01\x00\x01"
+        ],
+        5353,
+        proto="udp",
+        dport=53,
+        dst="8.8.8.8",
+    )
+    return [
+        Packet(payload=payload, header=header, packet_id=index)
+        for index, (header, payload) in enumerate(items)
+    ]
+
+
+def main(argv):
+    destination = argv[1] if len(argv) > 1 else "community_sample.pcap"
+    frames = write_packets(destination, build_packets())
+    print(f"wrote {frames} frames to {destination}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

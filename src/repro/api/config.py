@@ -320,6 +320,13 @@ class RulesSpec:
       resolved through the shared :class:`repro.rulesets.parser.SidAllocator`
       policy and recorded in :attr:`repro.api.Session.sid_remap`);
     * ``"specs"``     — explicit :class:`ContentRule` entries.
+
+    ``strict`` governs how ``"file"`` rules treat options the engine cannot
+    honour: lenient (the default) keeps unknown options as
+    ``unparsed_options``, drops unsupported pcre flags, and skips rules
+    without a positive content; strict raises
+    :class:`repro.rulesets.parser.RuleParseError` on any of those.  Grammar
+    errors (conflicting modifiers, malformed values) raise either way.
     """
 
     kind: str = "synthetic"
@@ -327,6 +334,7 @@ class RulesSpec:
     seed: int = 2010
     path: Optional[str] = None
     rules: Tuple[ContentRule, ...] = ()
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("synthetic", "file", "specs"):
@@ -348,11 +356,13 @@ class RulesSpec:
             out["path"] = self.path
         else:
             out["rules"] = [rule.to_dict() for rule in self.rules]
+        if self.strict:
+            out["strict"] = True
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RulesSpec":
-        _check_keys(data, ("kind", "size", "seed", "path", "rules"), "rules")
+        _check_keys(data, ("kind", "size", "seed", "path", "rules", "strict"), "rules")
         data = dict(data)
         if "rules" in data:
             data["rules"] = tuple(

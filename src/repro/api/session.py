@@ -116,7 +116,7 @@ class Session:
                 from ..rulesets.parser import parse_rules
 
                 with open(self.config.resolve(spec.path), encoding="utf-8") as handle:
-                    parsed = parse_rules(handle)
+                    parsed = parse_rules(handle, strict=spec.strict)
                 if not any(entry.contents for entry in parsed):
                     raise EmptyRulesetError(
                         f"no content patterns found in {spec.path}"
@@ -132,6 +132,19 @@ class Session:
                     for rule in spec.rules
                 ]
         return self._specs
+
+    @property
+    def skipped_rules(self) -> int:
+        """Rules the ids engine cannot run: no positive content to anchor on.
+
+        Lenient parsing keeps such rules in :attr:`specs` (the linter wants
+        to see them); the IDS skips them because the prefilter has nothing
+        to gate the confirm pass with.  Always 0 for synthetic rules and
+        under ``strict`` parsing (which rejects them at load time).
+        """
+        if self.specs is None:
+            return 0
+        return sum(1 for entry in self.specs if not entry.positive_contents)
 
     @property
     def ruleset(self):
@@ -220,6 +233,20 @@ class Session:
         return self._hardware
 
     @property
+    def _track_nocase(self) -> bool:
+        """Does any loaded rule carry ``nocase``?
+
+        When true, the scan services must dual-view scan (raw payload plus a
+        lower-cased copy) — the patterns themselves are stored lower-cased by
+        :func:`ruleset_from_specs`, so without the lowered view a ``nocase``
+        rule silently misses uppercase payloads.
+        """
+        specs = self.specs
+        if specs is None:
+            return False
+        return any(c.nocase for entry in specs for c in entry.contents)
+
+    @property
     def service(self):
         """The configured (serial or process-parallel) sharded scan service."""
         if self._service is _UNSET:
@@ -236,6 +263,7 @@ class Session:
                     self.program,
                     num_shards=engine.shards,
                     flow_capacity_per_shard=engine.flow_capacity,
+                    track_nocase=self._track_nocase,
                     workers=engine.workers,
                     **ring_kwargs,
                 )
@@ -246,6 +274,7 @@ class Session:
                     self.program,
                     num_shards=engine.shards,
                     flow_capacity_per_shard=engine.flow_capacity,
+                    track_nocase=self._track_nocase,
                 )
         return self._service
 
@@ -264,6 +293,11 @@ class Session:
                     workers=engine.workers,
                 )
             else:
+                if all(not entry.positive_contents for entry in self.specs):
+                    raise EmptyRulesetError(
+                        "no rule has a positive content for the prefilter to "
+                        "anchor on; the ids engine cannot run this ruleset"
+                    )
                 ids = IntrusionDetectionSystem.from_specs(
                     self.specs,
                     device=self.device,
@@ -362,7 +396,9 @@ class Session:
             run.scan_result = self.scan(packets)
             run.events = run.scan_result.events
         elif self.config.mode == "ids":
-            run.alerts = self.ids.scan_flow(packets)
+            # the source is finite, so after the last segment the flows are
+            # over: decide the pending negation verdicts too
+            run.alerts = self.ids.scan_flow(packets) + self.ids.finish()
         else:
             run.per_packet = self.scan_stateless()
             run.events = [

@@ -156,10 +156,21 @@ def replay_scan(source: CaptureSource, service, strict: bool = False):
     return service.scan(packets)
 
 
-def replay_ids(source: CaptureSource, ids, strict: bool = False):
-    """Replay a capture through the stateful IDS pipeline; returns the alerts."""
+def replay_ids(
+    source: CaptureSource, ids, strict: bool = False, finalize: bool = True
+):
+    """Replay a capture through the stateful IDS pipeline; returns the alerts.
+
+    A finished capture means its flows are finished, so by default the
+    replay also decides the end-of-flow rule verdicts (negated contents /
+    pcres) via :meth:`IntrusionDetectionSystem.finish`; pass
+    ``finalize=False`` when stitching several captures into one workload.
+    """
     packets, _ = load_packets(source, strict=strict)
-    return ids.scan_flow(packets)
+    alerts = ids.scan_flow(packets)
+    if finalize:
+        alerts += ids.finish()
+    return alerts
 
 
 __all__ = [

@@ -20,8 +20,18 @@ RS004    warning   pattern is a proper substring of another -> duplicate alerts
 RS005    error     content is not latin-1 encodable (one byte per character)
 RS006    warning   pattern longer than ``OVERLONG_PATTERN`` bytes
 RS007    warning   automaton state stores more than 13 pointers (hardware cap)
+RS008    error     unsatisfiable window: ``depth``/``within`` shorter than the
+                   content it bounds (the window can never contain the pattern)
+RS009    warning   rule has only negated contents; the ids engine skips it
+                   (no positive content for the prefilter to anchor on)
+RS010    error     invalid ``pcre`` option (unbalanced delimiters, bad flag,
+                   pattern :mod:`re` cannot compile)
 RS101    error     rule-file line failed to parse (message from the parser)
 =======  ========  ==============================================================
+
+RS008–RS010 need the positional/negation/pcre grammar, so they fire from
+:func:`lint_rule_file` (where the full predicate is parsed), not from the
+bytes-only :func:`lint_ruleset` entry point.
 """
 
 from __future__ import annotations
@@ -180,18 +190,47 @@ def lint_rule_file(path: str) -> Report:
                 code = "RS005"
             elif "empty content" in message:
                 code = "RS003"
+            elif "pcre" in message:
+                code = "RS010"
             else:
                 code = "RS101"
             report.add(ERROR, code, message, rule=number)
             continue
-        for content in spec.contents:
+        for index, content in enumerate(spec.contents):
+            for bound_name, bound in (
+                ("depth", content.depth),
+                ("within", content.within),
+            ):
+                if bound is not None and bound < len(content.pattern):
+                    report.add(
+                        ERROR,
+                        "RS008",
+                        f"{bound_name} {bound} is shorter than the "
+                        f"{len(content.pattern)}-byte content "
+                        f"{content.pattern!r}: the window can never contain "
+                        "the pattern",
+                        rule=number,
+                    )
             line_of[len(rules)] = number
             rules.append(
                 PatternRule(
                     pattern=content.effective_pattern(),
-                    sid=spec.sid if spec.sid is not None else -(len(rules) + 1),
+                    # only the first content carries the rule's sid: the
+                    # extras get placeholders, mirroring SidAllocator, so a
+                    # multi-content rule does not RS002-conflict with itself
+                    sid=spec.sid
+                    if spec.sid is not None and index == 0
+                    else -(len(rules) + 1),
                     msg=spec.msg,
                 )
+            )
+        if spec.contents and not spec.positive_contents:
+            report.add(
+                WARNING,
+                "RS009",
+                "rule has only negated contents; the ids engine skips it "
+                "(no positive content for the prefilter to anchor on)",
+                rule=number,
             )
         if not spec.contents:
             report.add(

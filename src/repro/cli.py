@@ -94,19 +94,21 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_generate_ruleset(args: argparse.Namespace) -> int:
+    from .rulesets.parser import render_content
+
     ruleset = generate_snort_like_ruleset(args.size, seed=args.seed)
     lines = [
         f"# synthetic Snort-like ruleset: {len(ruleset)} strings, "
         f"{ruleset.total_characters} characters"
     ]
     for rule in ruleset:
-        # backslash joins | and " in the hex-escaped set: the parser decodes
-        # \x to the bare x, so a literal backslash must not be emitted raw
-        rendered = "".join(
-            chr(b) if 0x20 <= b < 0x7F and chr(b) not in '|"\\' else f"|{b:02X}|"
-            for b in rule.pattern
+        # full parseable rules: the output round-trips through parse_rules /
+        # scan-pcap --rules (render_content hex-escapes every byte the rule
+        # grammar gives meaning to)
+        lines.append(
+            "alert ip any any -> any any "
+            f'(content:"{render_content(rule.pattern)}"; sid:{rule.sid};)'
         )
-        lines.append(f'sid:{rule.sid}; content:"{rendered}"')
     text = "\n".join(lines) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -304,7 +306,7 @@ def _cmd_scan_pcap(args: argparse.Namespace) -> int:
     _require_count("--workers", args.workers)
     _require_count("--flow-capacity", args.flow_capacity)
     if args.rules:
-        rules = RulesSpec(kind="file", path=args.rules)
+        rules = RulesSpec(kind="file", path=args.rules, strict=args.strict_rules)
     else:
         rules = RulesSpec(kind="synthetic", size=args.size, seed=args.seed)
     config = PipelineConfig(
@@ -395,7 +397,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             **limits)
 
     if args.rules:
-        rules = RulesSpec(kind="file", path=args.rules)
+        rules = RulesSpec(kind="file", path=args.rules, strict=args.strict_rules)
     else:
         rules = RulesSpec(kind="synthetic", size=args.size, seed=args.seed)
     config = PipelineConfig(
@@ -459,7 +461,7 @@ def _cmd_ids(args: argparse.Namespace) -> int:
             print("--rules requires --pcap (a capture to match against)",
                   file=sys.stderr)
             return 1
-        rules = RulesSpec(kind="file", path=args.rules)
+        rules = RulesSpec(kind="file", path=args.rules, strict=args.strict_rules)
     else:
         rules = RulesSpec(kind="synthetic", size=args.size, seed=args.seed)
     if args.pcap:
@@ -510,6 +512,14 @@ def _cmd_ids(args: argparse.Namespace) -> int:
             remapped = len(session.sid_remap)
             print(f"rules loaded         : {len(ids.rules)}"
                   + (f" ({remapped} reassigned sids)" if remapped else ""))
+            if session.specs is not None:
+                skipped = session.skipped_rules
+                ignored = sum(len(e.unparsed_options) for e in session.specs)
+                if skipped:
+                    print(f"rules skipped        : {skipped} (no positive content)")
+                if ignored:
+                    print(f"options ignored      : {ignored} "
+                          "(lenient parse; --strict-rules rejects them)")
             print(f"alerts raised        : {len(alerts)}")
             if flows is not None:
                 alerted_sids = {alert.sid for alert in alerts}
@@ -773,6 +783,9 @@ def build_parser() -> argparse.ArgumentParser:
     scan_pcap.add_argument("--rules", metavar="FILE",
                            help="Snort rules file to match against (default: "
                                 "the synthetic --size/--seed ruleset)")
+    scan_pcap.add_argument("--strict-rules", action="store_true",
+                           help="reject rules with unsupported options instead "
+                                "of keeping them unparsed (lenient default)")
     _add_ruleset_arguments(scan_pcap)
     _add_backend_argument(scan_pcap)
     scan_pcap.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
@@ -808,6 +821,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rules", metavar="FILE",
                        help="Snort rules file to match against (default: "
                             "the synthetic --size/--seed ruleset)")
+    serve.add_argument("--strict-rules", action="store_true",
+                       help="reject rules with unsupported options instead "
+                            "of keeping them unparsed (lenient default)")
     _add_ruleset_arguments(serve)
     _add_backend_argument(serve)
     serve.add_argument("--device", default="stratix3", choices=sorted(DEVICES))
@@ -846,6 +862,9 @@ def build_parser() -> argparse.ArgumentParser:
     ids.add_argument("--rules", metavar="FILE",
                      help="build the IDS from this Snort rules file instead of "
                           "the synthetic ruleset (requires --pcap)")
+    ids.add_argument("--strict-rules", action="store_true",
+                     help="reject rules with unsupported options instead "
+                          "of keeping them unparsed (lenient default)")
     ids.add_argument("--strict", action="store_true",
                      help="with --pcap: fail on frames that cannot be decoded "
                           "(default: skip and count them)")

@@ -1,11 +1,14 @@
 """Mini intrusion-detection pipeline: header classification + content matching."""
 
 from .classifier import HeaderClassifier, HeaderPattern
+from .confirm import ConfirmStage, RuleEvaluator
 from .pipeline import Alert, IDSRule, IDSStatistics, IntrusionDetectionSystem
 
 __all__ = [
     "HeaderClassifier",
     "HeaderPattern",
+    "ConfirmStage",
+    "RuleEvaluator",
     "Alert",
     "IDSRule",
     "IDSStatistics",

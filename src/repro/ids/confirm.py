@@ -1,0 +1,381 @@
+"""Second-stage rule confirmation: predicates over prefilter hit positions.
+
+The paper's engines are a line-rate *prefilter*: they report where any rule
+content occurs in a flow's byte stream (``StreamMatch.end_offset`` is
+already absolute in the flow, even for matches straddling segment
+boundaries).  Real Snort rules say more than "these strings occur" — where
+a content must sit (``offset``/``depth``), how far from the previous one
+(``distance``/``within``), contents that must *not* appear
+(``content:!"..."``) and a ``pcre`` that must confirm the hit.  This module
+evaluates those predicates using only what the prefilter produces: sorted
+absolute end offsets per pattern, plus (only when the ruleset carries pcre
+options) the flow's bytes, buffered per candidate flow.
+
+Window semantics (shared with the ruleset linter and the naive reference
+evaluator in the test suite):
+
+* an occurrence of a content of length ``L`` ending at ``end`` starts at
+  ``start = end - L`` (``end`` is one past the final byte, the prefilter's
+  convention);
+* absolute anchoring — ``start >= offset`` (default 0) and, with ``depth``,
+  ``end <= offset + depth``;
+* relative anchoring (``distance``/``within``) — against ``doe``, the end
+  of the previous positive content's chosen occurrence:
+  ``start >= doe + distance`` (default 0) and, with ``within``,
+  ``end <= doe + distance + within``;
+* a **negated** content must have *no* occurrence inside its window and
+  never advances ``doe``.  Its verdict needs the window fully scanned: a
+  bounded window (``depth``/``within``) decides once the stream passed its
+  end, an unbounded one only at flow end (or eviction);
+* content chains **backtrack**: the chosen occurrence of one content is the
+  anchor of the next, and a greedy earliest-match choice is wrong (an early
+  anchor can push the next content's ``within`` bound out of reach), so
+  every satisfying occurrence is tried, memoised on ``(step, doe)``;
+* ``pcre`` options run :mod:`re` (compiled once, cached per pattern) over
+  the flow's buffered bytes only after the content chain is satisfied — the
+  stage that keeps regexes off the no-hit hot path.
+
+A rule without negation is *monotone* — once its predicate holds on a
+prefix it holds on the flow — so the pipeline alerts at the first packet
+where confirmation succeeds.  Rules with negation can only be confirmed
+once no more bytes can arrive: :meth:`ConfirmStage.finalize_flow` decides
+them at flow end or eviction, attributing the alert to the flow's last
+seen packet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..rulesets.parser import RulePredicate
+from ..streaming.flow import FlowKey
+
+
+class _Step:
+    """One content of a compiled predicate, bound to its prefilter number."""
+
+    __slots__ = (
+        "number", "length", "nocase", "negated",
+        "offset", "depth", "distance", "within", "relative",
+    )
+
+    def __init__(self, content, number: int):
+        self.number = number
+        self.length = len(content.pattern)
+        self.nocase = content.nocase
+        self.negated = content.negated
+        self.offset = content.offset
+        self.depth = content.depth
+        self.distance = content.distance
+        self.within = content.within
+        self.relative = content.is_relative
+
+    def window(self, doe: int) -> Tuple[int, Optional[int]]:
+        """``(min_start, max_end)`` for this step anchored at ``doe``
+        (``max_end`` is ``None`` when the window is unbounded)."""
+        if self.relative:
+            lo = doe + (self.distance or 0)
+            hi = lo + self.within if self.within is not None else None
+        else:
+            lo = self.offset or 0
+            hi = lo + self.depth if self.depth is not None else None
+        return lo, hi
+
+
+#: occurrence source handed to :meth:`RuleEvaluator.evaluate`: step -> sorted
+#: absolute end offsets of that step's pattern in the flow so far.
+OccurrenceFn = Callable[[_Step], Sequence[int]]
+
+
+def merged_occurrences(
+    step: _Step,
+    positions: Dict[int, List[int]],
+    lower_positions: Dict[int, List[int]],
+) -> Sequence[int]:
+    """Sorted end offsets of ``step``'s pattern, honouring its case mode.
+
+    Case-sensitive steps see only the raw-view hits; ``nocase`` steps merge
+    in the lower-cased-view hits (deduplicated — a hit present in both views
+    is one occurrence).  Shared between the streaming :class:`ConfirmStage`
+    and the stateless per-packet path in the pipeline.
+    """
+    raw = positions.get(step.number, ())
+    if not step.nocase:
+        return raw
+    lower = lower_positions.get(step.number, ())
+    if not lower:
+        return raw
+    if not raw:
+        return lower
+    return sorted(set(raw).union(lower))
+
+
+class RuleEvaluator:
+    """One rule's :class:`RulePredicate` compiled against a prefilter.
+
+    ``number_of`` maps effective pattern bytes to the prefilter's string
+    numbers; pcres are compiled (and cached) at construction, so evaluation
+    never pays a regex compile.
+    """
+
+    def __init__(self, sid: int, predicate: RulePredicate, number_of: Dict[bytes, int]):
+        self.sid = sid
+        self.steps: List[_Step] = [
+            _Step(content, number_of[content.effective_pattern()])
+            for content in predicate.contents
+        ]
+        self.pcres = [(p.compile(), p.negated) for p in predicate.pcres]
+        self.plain = predicate.is_plain
+        #: verdict can flip at flow end: some component is negated
+        self.requires_end = predicate.requires_end
+        self.needs_buffer = bool(self.pcres)
+        self.positive_steps = [s for s in self.steps if not s.negated]
+
+    def evaluate(
+        self,
+        occurrences: OccurrenceFn,
+        length: int,
+        buffer: Optional[bytes],
+        at_end: bool,
+    ) -> bool:
+        """Does the flow (``length`` bytes scanned so far) satisfy the rule?
+
+        Mid-stream (``at_end=False``) the answer is conservative: negated
+        components whose window is still open and positive pcres that have
+        not matched yet report ``False`` — the caller simply re-evaluates
+        on later packets, and :meth:`ConfirmStage.finalize_flow` asks once
+        more with ``at_end=True``.
+        """
+        if self.plain:
+            return all(occurrences(step) for step in self.steps)
+        memo: Dict[Tuple[int, int], bool] = {}
+
+        def chain(index: int, doe: int) -> bool:
+            if index == len(self.steps):
+                return self._pcres_ok(buffer, at_end)
+            key = (index, doe)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            step = self.steps[index]
+            lo, hi = step.window(doe)
+            ends = occurrences(step)
+            result = False
+            if step.negated:
+                occupied = any(
+                    end - step.length >= lo and (hi is None or end <= hi)
+                    for end in ends
+                )
+                decided = at_end or (hi is not None and length >= hi)
+                if not occupied and decided:
+                    result = chain(index + 1, doe)
+            else:
+                for end in ends:
+                    if hi is not None and end > hi:
+                        break  # ends are sorted: nothing later can fit
+                    if end - step.length >= lo and chain(index + 1, end):
+                        result = True
+                        break
+            memo[key] = result
+            return result
+
+        return chain(0, 0)
+
+    def _pcres_ok(self, buffer: Optional[bytes], at_end: bool) -> bool:
+        if not self.pcres:
+            return True
+        if buffer is None:
+            raise ValueError(
+                f"rule {self.sid} has pcre options but no flow buffer was kept"
+            )
+        for regex, negated in self.pcres:
+            found = regex.search(buffer) is not None
+            if negated:
+                # absence is only provable once the flow cannot grow
+                if found or not at_end:
+                    return False
+            elif not found:
+                return False
+        return True
+
+
+class _FlowRecord:
+    """Per-flow confirm state: occurrence positions, optional byte buffer,
+    header-candidate sids, and which rules already alerted."""
+
+    __slots__ = (
+        "positions", "lower_positions", "buffer", "length",
+        "alerted", "candidates", "last_packet_id",
+    )
+
+    def __init__(self):
+        self.positions: Dict[int, List[int]] = {}
+        self.lower_positions: Dict[int, List[int]] = {}
+        self.buffer: Optional[bytearray] = None
+        self.length = 0
+        self.alerted: Set[int] = set()
+        self.candidates: Optional[Tuple[int, ...]] = None
+        self.last_packet_id = -1
+
+    def as_dict(self) -> Dict:
+        return {
+            "positions": {str(k): v for k, v in self.positions.items()},
+            "lower_positions": {str(k): v for k, v in self.lower_positions.items()},
+            "buffer": None if self.buffer is None else bytes(self.buffer).hex(),
+            "length": self.length,
+            "alerted": sorted(self.alerted),
+            "candidates": None if self.candidates is None else list(self.candidates),
+            "last_packet_id": self.last_packet_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "_FlowRecord":
+        record = cls()
+        record.positions = {int(k): list(v) for k, v in data["positions"].items()}
+        record.lower_positions = {
+            int(k): list(v) for k, v in data["lower_positions"].items()
+        }
+        buffer = data.get("buffer")
+        record.buffer = None if buffer is None else bytearray(bytes.fromhex(buffer))
+        record.length = int(data["length"])
+        record.alerted = set(data["alerted"])
+        candidates = data.get("candidates")
+        record.candidates = None if candidates is None else tuple(candidates)
+        record.last_packet_id = int(data["last_packet_id"])
+        return record
+
+
+class ConfirmStage:
+    """Correlates prefilter events into per-rule verdicts, flow by flow.
+
+    One instance backs both the serial and the process-parallel IDS paths
+    (it is fed from :class:`StreamMatch` events either way), replacing the
+    two separate ``FlowEntry`` / parent-side-mirror bookkeepings.  Flow
+    byte buffers are kept only when some rule actually carries a pcre.
+    """
+
+    def __init__(self, evaluators: Iterable[RuleEvaluator]):
+        self.evaluators: Dict[int, RuleEvaluator] = {e.sid: e for e in evaluators}
+        self.needs_buffer = any(e.needs_buffer for e in self.evaluators.values())
+        #: insertion-ordered: finalize walks flows in first-seen order
+        self._flows: Dict[FlowKey, _FlowRecord] = {}
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        key: FlowKey,
+        packet_id: int,
+        payload: bytes,
+        events: Sequence,
+        candidates_fn: Callable[[], Sequence[int]],
+    ) -> _FlowRecord:
+        """Fold one scanned packet's prefilter events into flow state.
+
+        ``events`` carry flow-absolute end offsets (the scanner's
+        resumability contract), so positions accumulate sorted per view
+        without any per-segment rebasing.  ``candidates_fn`` supplies the
+        packet's header-candidate sids; it is only called the first time a
+        flow is seen (the 5-tuple — and therefore the candidate set — is
+        constant across a flow's segments).  Returns the flow's record so
+        the caller can drive its verdict loop without re-deriving state.
+        """
+        record = self._flows.get(key)
+        if record is None:
+            record = self._flows[key] = _FlowRecord()
+            if self.needs_buffer:
+                record.buffer = bytearray()
+        record.last_packet_id = packet_id
+        record.length += len(payload)
+        if record.buffer is not None:
+            record.buffer += payload
+        if record.candidates is None:
+            record.candidates = tuple(candidates_fn())
+        for event in events:
+            target = record.lower_positions if event.lowered else record.positions
+            target.setdefault(event.string_number, []).append(event.end_offset)
+        return record
+
+    def flow_keys(self) -> List[FlowKey]:
+        """Tracked flows in first-seen order."""
+        return list(self._flows)
+
+    # ------------------------------------------------------------------
+    def is_alerted(self, key: FlowKey, sid: int) -> bool:
+        record = self._flows.get(key)
+        return record is not None and sid in record.alerted
+
+    def mark_alerted(self, key: FlowKey, sid: int) -> None:
+        self._flows[key].alerted.add(sid)
+
+    def _occurrences(self, record: _FlowRecord) -> OccurrenceFn:
+        def occ(step: _Step) -> Sequence[int]:
+            return merged_occurrences(step, record.positions, record.lower_positions)
+
+        return occ
+
+    def check(self, key: FlowKey, sid: int, at_end: bool = False) -> bool:
+        """Evaluate rule ``sid`` against flow ``key``'s accumulated state."""
+        record = self._flows.get(key)
+        if record is None:
+            return False
+        evaluator = self.evaluators[sid]
+        occ = self._occurrences(record)
+        # cheap candidacy gate: every positive content must occur somewhere
+        # before the positional/pcre machinery is worth running
+        if not all(occ(step) for step in evaluator.positive_steps):
+            return False
+        buffer = (
+            bytes(record.buffer)
+            if evaluator.needs_buffer and record.buffer is not None
+            else None
+        )
+        return evaluator.evaluate(occ, record.length, buffer, at_end)
+
+    def finalize_flow(self, key: FlowKey) -> List[Tuple[int, int]]:
+        """Decide end-of-flow rules (negation) for one flow.
+
+        Returns ``(packet_id, sid)`` pairs — the alert is attributed to the
+        flow's last seen packet, the point where "no more bytes" became
+        true.  Safe to call repeatedly: decided rules are marked alerted.
+        """
+        record = self._flows.get(key)
+        if record is None:
+            return []
+        out: List[Tuple[int, int]] = []
+        for sid in record.candidates or ():
+            evaluator = self.evaluators.get(sid)
+            if evaluator is None or not evaluator.requires_end:
+                continue
+            if sid in record.alerted:
+                continue
+            if self.check(key, sid, at_end=True):
+                record.alerted.add(sid)
+                out.append((record.last_packet_id, sid))
+        return out
+
+    def drop(self, key: FlowKey) -> None:
+        """Forget a flow (after eviction: the scanner restarts it at offset
+        0, so stale absolute positions must not survive)."""
+        self._flows.pop(key, None)
+
+    def reset(self) -> None:
+        self._flows.clear()
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """JSON-serialisable snapshot of every tracked flow's confirm state."""
+        return {
+            "flows": [
+                {"key": list(key.as_tuple()), **record.as_dict()}
+                for key, record in self._flows.items()
+            ]
+        }
+
+    def restore(self, data: Dict) -> None:
+        self._flows = {}
+        for entry in data["flows"]:
+            key = FlowKey.coerced(*entry["key"])
+            self._flows[key] = _FlowRecord.from_dict(entry)
+
+
+__all__ = ["ConfirmStage", "RuleEvaluator", "merged_occurrences"]

@@ -1,15 +1,22 @@
 """End-to-end mini intrusion detection pipeline.
 
 Combines the two halves of a DPI rule the way the paper describes them being
-used on a router line card:
+used on a router line card, as a *two-stage* software IDS:
 
 1. the *header* of every packet goes through 5-tuple classification
    (:mod:`repro.ids.classifier`);
 2. the *payload* goes through the string matching accelerator
    (:mod:`repro.hardware` when simulating hardware, or the software
-   :class:`repro.core.DTPAutomaton` matcher);
-3. an alert is raised for a rule only when both its header pattern and every
-   one of its content strings matched.
+   :class:`repro.core.DTPAutomaton` matcher) — the line-rate **prefilter**,
+   which reports where every rule content (negated ones included) occurs;
+3. the **confirm** stage (:mod:`repro.ids.confirm`) evaluates each candidate
+   rule's full :class:`~repro.rulesets.parser.RulePredicate` — positional
+   windows, negation, pcre — against the prefilter's absolute hit positions,
+   and an alert is raised only when header and predicate both hold.
+
+Rules without negation alert at the first packet where the predicate holds;
+rules with negated components are decided at flow end (:meth:`finish`) or
+eviction, attributed to the flow's last seen packet.
 """
 
 from __future__ import annotations
@@ -21,22 +28,32 @@ from ..backend import CompiledProgram, get_backend
 from ..core.accelerator_config import compile_ruleset
 from ..fpga.devices import FPGADevice, STRATIX_III
 from ..hardware.accelerator import HardwareAccelerator
-from ..rulesets.parser import SidAllocator, SnortRuleSpec
+from ..rulesets.parser import (
+    ContentPattern,
+    RulePredicate,
+    SidAllocator,
+    SnortRuleSpec,
+)
 from ..rulesets.ruleset import RuleSet
 from ..streaming.executor import ParallelScanService
-from ..streaming.flow import DEFAULT_FLOW_CAPACITY, FlowEntry, FlowKey
+from ..streaming.flow import DEFAULT_FLOW_CAPACITY, FlowTable
 from ..streaming.scanner import StreamScanner
 from ..traffic.packet import Packet
 from .classifier import HeaderClassifier, HeaderPattern
+from .confirm import ConfirmStage, RuleEvaluator, merged_occurrences
 
 
 @dataclass(frozen=True)
 class IDSRule:
-    """One complete IDS rule: header pattern plus one or more content strings.
+    """One complete IDS rule: header pattern plus a content predicate.
 
-    ``nocase`` flags which content strings are case-insensitive (Snort's
-    ``nocase`` modifier).  Case-insensitive contents are stored lower-cased
-    and matched against a lower-cased view of the payload.
+    ``contents`` holds the *positive* content strings — what the prefilter
+    can gate on — stored as effective patterns (lower-cased when the
+    matching ``nocase`` flag is set).  ``predicate`` is the full match
+    predicate (positional windows, negated contents, pcres); when omitted
+    it is derived from ``contents``/``nocase`` as the plain
+    "every string occurs somewhere" predicate, which keeps the historical
+    constructor behaviour intact.
     """
 
     sid: int
@@ -45,12 +62,34 @@ class IDSRule:
     msg: str = ""
     action: str = "alert"
     nocase: Tuple[bool, ...] = ()
+    predicate: Optional[RulePredicate] = None
 
     def __post_init__(self) -> None:
         if not self.contents:
             raise ValueError(f"rule {self.sid} has no content strings")
         if self.nocase and len(self.nocase) != len(self.contents):
             raise ValueError(f"rule {self.sid}: nocase flags do not match contents")
+        if self.predicate is None:
+            flags = self.nocase or (False,) * len(self.contents)
+            object.__setattr__(
+                self,
+                "predicate",
+                RulePredicate(
+                    contents=tuple(
+                        ContentPattern(pattern=content, nocase=flag)
+                        for content, flag in zip(self.contents, flags)
+                    )
+                ),
+            )
+        else:
+            positives = tuple(
+                c.effective_pattern() for c in self.predicate.positive
+            )
+            if positives != tuple(self.contents):
+                raise ValueError(
+                    f"rule {self.sid}: contents do not match the predicate's "
+                    "positive contents"
+                )
 
     def content_flags(self) -> Tuple[Tuple[bytes, bool], ...]:
         flags = self.nocase or (False,) * len(self.contents)
@@ -117,20 +156,23 @@ class IntrusionDetectionSystem:
         for rule in rules:
             self.classifier.add_rule(rule.sid, rule.header)
 
-        # Build the content ruleset: unique strings across all rules, and a
-        # reverse map from string number to the rules that need it.  Contents
-        # flagged nocase are stored lower-cased and additionally searched in a
-        # lower-cased copy of each payload.
+        # Build the prefilter ruleset: unique strings across all rules'
+        # predicates — negated contents included, because the confirm stage
+        # decides negation windows from their *occurrence* positions.
+        # Contents flagged nocase are stored lower-cased and additionally
+        # searched in a lower-cased view of each payload.
         self._content_ruleset = RuleSet(name="ids-contents")
         self._string_to_rules: Dict[bytes, Set[int]] = {}
         self._nocase_patterns: Set[bytes] = set()
         for rule in rules:
-            for content, nocase in rule.content_flags():
-                if nocase:
-                    self._nocase_patterns.add(content)
-                self._string_to_rules.setdefault(content, set()).add(rule.sid)
-                if content not in self._content_ruleset:
-                    self._content_ruleset.add_pattern(content)
+            for content in rule.predicate.contents:
+                pattern = content.effective_pattern()
+                if content.nocase:
+                    self._nocase_patterns.add(pattern)
+                if not content.negated:
+                    self._string_to_rules.setdefault(pattern, set()).add(rule.sid)
+                if pattern not in self._content_ruleset:
+                    self._content_ruleset.add_pattern(pattern)
 
         self.backend = backend
         if backend == "dtp":
@@ -145,6 +187,19 @@ class IntrusionDetectionSystem:
         self._number_to_pattern = {
             index: rule.pattern for index, rule in enumerate(self._content_ruleset)
         }
+        number_of = {
+            rule.pattern: index for index, rule in enumerate(self._content_ruleset)
+        }
+        self._nocase_numbers = {number_of[p] for p in self._nocase_patterns}
+        #: per-rule compiled predicates bound to the prefilter numbering
+        self._evaluators: Dict[int, RuleEvaluator] = {
+            rule.sid: RuleEvaluator(rule.sid, rule.predicate, number_of)
+            for rule in rules
+        }
+        #: the confirm stage: one instance correlates both the serial and
+        #: the parallel flow scan (it is fed from StreamMatch events either
+        #: way), replacing the old FlowEntry/parent-mirror bookkeeping
+        self._confirm = ConfirmStage(self._evaluators.values())
         self.accelerator: Optional[HardwareAccelerator] = (
             HardwareAccelerator(self.program) if use_hardware_model else None
         )
@@ -156,11 +211,6 @@ class IntrusionDetectionSystem:
         self._flow_capacity = DEFAULT_FLOW_CAPACITY
         self.workers = workers
         self._parallel_service: Optional[ParallelScanService] = None
-        # parent-side mirror of the per-flow matched/alerted bookkeeping the
-        # serial path keeps on FlowEntry; lives as long as the worker pool's
-        # flow tables so consecutive scan_flow calls correlate like one stream
-        self._parallel_found: Dict[FlowKey, Set[bytes]] = {}
-        self._parallel_alerted: Dict[FlowKey, Set[int]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -202,6 +252,12 @@ class IntrusionDetectionSystem:
     ) -> "IntrusionDetectionSystem":
         """Build an IDS from parsed Snort rules.
 
+        Each spec's full predicate (positional modifiers, negated contents,
+        pcres) is carried into the confirm stage.  Rules without a single
+        positive content are skipped — the prefilter has nothing to anchor
+        on (parse with ``strict=True`` to reject such rules instead; see
+        :attr:`repro.api.Session.skipped_rules` for the count).
+
         Sid assignment is the shared :class:`repro.rulesets.parser.SidAllocator`
         policy: the first rule claiming a sid keeps it, later claimants (and
         sid-less rules) get the lowest free sid no spec claims explicitly —
@@ -214,7 +270,8 @@ class IntrusionDetectionSystem:
         allocator = SidAllocator(specs, sid_remap)
         rules: List[IDSRule] = []
         for spec in specs:
-            if not spec.contents:
+            positives = spec.positive_contents
+            if not positives:
                 continue
             sid = allocator.assign(spec.sid)
             rules.append(
@@ -227,10 +284,11 @@ class IntrusionDetectionSystem:
                         dst_ip=spec.header.dst_ip,
                         dst_port=spec.header.dst_port,
                     ),
-                    contents=tuple(c.effective_pattern() for c in spec.contents),
+                    contents=tuple(c.effective_pattern() for c in positives),
                     msg=spec.msg,
                     action=spec.header.action,
-                    nocase=tuple(c.nocase for c in spec.contents),
+                    nocase=tuple(c.nocase for c in positives),
+                    predicate=spec.predicate,
                 )
             )
         return cls(
@@ -242,39 +300,51 @@ class IntrusionDetectionSystem:
         )
 
     # ------------------------------------------------------------------
-    def _content_matches(self, packets: Sequence[Packet]) -> Dict[int, Set[bytes]]:
-        """Which content strings matched in which packet.
+    def _match_positions(
+        self, payload: bytes
+    ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+        """Occurrence end-offsets per string number, raw and lowered view.
 
-        Every payload is scanned as-is; when any rule uses ``nocase`` a
-        lower-cased copy is scanned as well and its hits are credited only to
-        the case-insensitive patterns.
+        The payload is scanned as-is; when any rule uses ``nocase`` a
+        lower-cased copy is scanned as well (its hits credit only the
+        case-insensitive patterns at evaluation time).
         """
-        found: Dict[int, Set[bytes]] = {packet.packet_id: set() for packet in packets}
         matcher = self._matcher  # accelerator and program share the protocol
-        for packet in packets:
-            for _, number in matcher.match(packet.payload):
-                found[packet.packet_id].add(self._number_to_pattern[number])
-            if self._nocase_patterns:
-                for _, number in matcher.match(packet.payload.lower()):
-                    pattern = self._number_to_pattern[number]
-                    if pattern in self._nocase_patterns:
-                        found[packet.packet_id].add(pattern)
-        return found
+        raw: Dict[int, List[int]] = {}
+        for end, number in matcher.match(payload):
+            raw.setdefault(number, []).append(end)
+        lower: Dict[int, List[int]] = {}
+        if self._nocase_patterns:
+            for end, number in matcher.match(payload.lower()):
+                lower.setdefault(number, []).append(end)
+        return raw, lower
 
     def process(self, packets: Sequence[Packet]) -> List[Alert]:
-        """Run the full pipeline over ``packets`` and return the alerts raised."""
+        """Run the full pipeline over ``packets`` and return the alerts raised.
+
+        Stateless: every packet is its own complete "flow", so predicates —
+        negation included — are decided per packet (``at_end`` semantics).
+        """
         alerts: List[Alert] = []
-        content_hits = self._content_matches(packets)
         for packet in packets:
             self.stats.packets_processed += 1
             self.stats.payload_bytes += len(packet.payload)
+            raw, lower = self._match_positions(packet.payload)
+            hits = set(raw) | (set(lower) & self._nocase_numbers)
+            self.stats.content_matches += len(hits)
             candidates = self.classifier.classify(packet.header)
             self.stats.header_candidates += len(candidates)
-            hits = content_hits[packet.packet_id]
-            self.stats.content_matches += len(hits)
             for sid in candidates:
-                rule = self.rules[sid]
-                if all(content in hits for content in rule.contents):
+                evaluator = self._evaluators[sid]
+
+                def occ(step, raw=raw, lower=lower):
+                    return merged_occurrences(step, raw, lower)
+
+                if not all(occ(step) for step in evaluator.positive_steps):
+                    continue
+                buffer = packet.payload if evaluator.needs_buffer else None
+                if evaluator.evaluate(occ, len(packet.payload), buffer, at_end=True):
+                    rule = self.rules[sid]
                     alerts.append(
                         Alert(
                             packet_id=packet.packet_id,
@@ -323,19 +393,21 @@ class IntrusionDetectionSystem:
         if capacity is not None:
             self._flow_capacity = capacity
         self._flow_scanner = None
+        self._confirm.reset()
         self.close()
 
     def close(self) -> None:
         """Shut down the parallel scan workers, if any were started.
 
         The correlation state goes with them: a pool rebuilt later starts
-        with fresh flow tables, so the parent-side mirror must be fresh too.
+        with fresh flow tables, so the confirm stage must be fresh too.
+        (A serial IDS keeps its scanner and confirm state across close().)
         """
         if self._parallel_service is not None:
             self._parallel_service.close()
             self._parallel_service = None
-        self._parallel_found.clear()
-        self._parallel_alerted.clear()
+        if self.workers is not None:
+            self._confirm.reset()
 
     def __enter__(self) -> "IntrusionDetectionSystem":
         return self
@@ -343,14 +415,79 @@ class IntrusionDetectionSystem:
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
 
-    def _flow_contents_found(self, entry: FlowEntry) -> Set[bytes]:
-        """Content strings confirmed so far in one flow's byte stream."""
-        found = {self._number_to_pattern[number] for number in entry.matched}
-        for number in entry.matched_lower:
-            pattern = self._number_to_pattern[number]
-            if pattern in self._nocase_patterns:
-                found.add(pattern)
-        return found
+    def _correlate(
+        self,
+        packets: Sequence[Packet],
+        per_packet_events: Sequence[Sequence],
+        evictions: Sequence,
+    ) -> List[Alert]:
+        """Fold scanned events into confirm-stage verdicts, packet by packet.
+
+        Shared by the serial and parallel flow scans: both produce exactly
+        (per-packet event lists, ``(item_index, key)`` eviction records) and
+        both must alert identically.  A flow evicted while packet ``index``
+        was being scanned is finalized (pending negation verdicts) and
+        dropped before that packet is correlated — it restarts from scratch,
+        because the scanner restarted its offsets too.
+        """
+        alerts: List[Alert] = []
+        confirm = self._confirm
+        next_eviction = 0
+        for index, packet in enumerate(packets):
+            self.stats.packets_processed += 1
+            self.stats.payload_bytes += len(packet.payload)
+            events = per_packet_events[index]
+            # distinct strings per packet, matching process()'s accounting
+            self.stats.content_matches += len({e.string_number for e in events})
+            # the eviction is always triggered by a *different* flow's arrival
+            while (
+                next_eviction < len(evictions)
+                and evictions[next_eviction][0] <= index
+            ):
+                _, evicted_key = evictions[next_eviction]
+                next_eviction += 1
+                for packet_id, sid in confirm.finalize_flow(evicted_key):
+                    rule = self.rules[sid]
+                    alerts.append(
+                        Alert(
+                            packet_id=packet_id,
+                            sid=sid,
+                            msg=rule.msg,
+                            action=rule.action,
+                        )
+                    )
+                    self.stats.alerts_raised += 1
+                confirm.drop(evicted_key)
+            key = StreamScanner.flow_key(packet)
+            record = confirm.observe(
+                key,
+                packet.packet_id,
+                packet.payload,
+                events,
+                lambda packet=packet: self.classifier.classify(packet.header),
+            )
+            self.stats.header_candidates += len(record.candidates)
+            # no prefilter hit on this flow yet -> no rule can pass its
+            # positive-content gate: keep the no-hit hot path free of
+            # per-rule work
+            if not record.positions and not record.lower_positions:
+                continue
+            for sid in record.candidates:
+                if sid in record.alerted:
+                    continue
+                if confirm.check(key, sid):
+                    rule = self.rules[sid]
+                    alerts.append(
+                        Alert(
+                            packet_id=packet.packet_id,
+                            sid=sid,
+                            msg=rule.msg,
+                            action=rule.action,
+                        )
+                    )
+                    confirm.mark_alerted(key, sid)
+                    self.stats.alerts_raised += 1
+        return alerts
 
     def scan_flow(self, packets: Sequence[Packet]) -> List[Alert]:
         """Run the pipeline statefully: packets are flow segments, in order.
@@ -358,10 +495,14 @@ class IntrusionDetectionSystem:
         Unlike :meth:`process`, the content matcher resumes each flow's
         automaton state (keyed by the packet 5-tuple) across segments, so a
         rule string split across consecutive packets of one flow still
-        completes, and a multi-content rule may gather its strings over
-        several segments.  Each rule alerts at most once per tracked flow,
-        at the packet where its last required content completed; flow state
-        evicted under memory pressure restarts from scratch.
+        completes, and a multi-content predicate may gather its occurrences
+        over several segments (the events' end offsets stay flow-absolute,
+        which is what positional windows are resolved against).  A rule
+        without negated components alerts at most once per tracked flow, at
+        the first packet where its predicate holds; rules with negation are
+        decided when the flow ends — call :meth:`finish` after the last
+        segment — or when its state is evicted under memory pressure.
+        Evicted flows restart from scratch.
 
         Content matching always uses the software automaton here, even when
         the IDS was built with ``use_hardware_model=True`` (which only
@@ -379,90 +520,84 @@ class IntrusionDetectionSystem:
         if self.workers is not None:
             return self._scan_flow_parallel(packets)
         scanner = self.flow_scanner
-        alerts: List[Alert] = []
-        for packet in packets:
-            self.stats.packets_processed += 1
-            self.stats.payload_bytes += len(packet.payload)
-            events = scanner.scan_packet(packet)
-            # distinct strings per packet, matching process()'s accounting
-            self.stats.content_matches += len({e.string_number for e in events})
-            entry = scanner.flows.peek(scanner.flow_key(packet))
-            assert entry is not None  # scan_packet just created/refreshed it
-            candidates = self.classifier.classify(packet.header)
-            self.stats.header_candidates += len(candidates)
-            if not candidates:
-                continue
-            found = self._flow_contents_found(entry)
-            for sid in candidates:
-                if sid in entry.alerted:
-                    continue
-                rule = self.rules[sid]
-                if all(content in found for content in rule.contents):
-                    alerts.append(
-                        Alert(
-                            packet_id=packet.packet_id,
-                            sid=sid,
-                            msg=rule.msg,
-                            action=rule.action,
-                        )
-                    )
-                    entry.alerted.add(sid)
-                    self.stats.alerts_raised += 1
-        return alerts
+        per_packet_events, evictions = scanner.scan_batch(
+            [
+                (scanner.flow_key(packet), packet.payload, packet.packet_id)
+                for packet in packets
+            ]
+        )
+        return self._correlate(packets, per_packet_events, evictions)
 
     def _scan_flow_parallel(self, packets: Sequence[Packet]) -> List[Alert]:
         """The :meth:`scan_flow` pipeline over the parallel shard executor.
 
-        Workers own the flow tables, so the per-flow ``matched``/``alerted``
-        bookkeeping the serial path reads off :class:`FlowEntry` is rebuilt
-        here from the annotated scan: per-packet events accumulate each
-        flow's confirmed contents, and eviction records reset a flow exactly
-        where the worker's LRU table forgot it (an evicted flow restarts
-        from scratch and may alert again, mirroring the serial semantics).
+        Workers own the flow tables, but the confirm stage is parent-side
+        either way: per-packet events (flow-absolute offsets) feed the same
+        :class:`ConfirmStage` the serial path uses, and eviction records
+        finalize-and-drop a flow exactly where the worker's LRU table forgot
+        it (an evicted flow restarts from scratch and may alert again,
+        mirroring the serial semantics).
         """
         service = self.parallel_service
         _, per_packet_events, evictions = service.scan_annotated(packets)
+        return self._correlate(packets, per_packet_events, evictions)
+
+    def finish(self) -> List[Alert]:
+        """Decide the pending end-of-flow verdicts of every tracked flow.
+
+        Rules with negated components cannot alert mid-stream — a later
+        byte could still land in a negation window — so after the last
+        segment of the workload, call :meth:`finish` to evaluate them with
+        the flows closed.  Alerts are attributed to each flow's last seen
+        packet, flows are walked in first-seen order, and the call is
+        idempotent (decided rules are marked, state is kept for inspection).
+        Rules without negation never alert here: their predicates are
+        monotone, so a prefix that failed keeps failing on the same bytes.
+        """
         alerts: List[Alert] = []
-        found = self._parallel_found  # persists across scan_flow calls,
-        alerted = self._parallel_alerted  # like FlowEntry does serially
-        next_eviction = 0
-        for index, packet in enumerate(packets):
-            self.stats.packets_processed += 1
-            self.stats.payload_bytes += len(packet.payload)
-            events = per_packet_events[index]
-            # distinct strings per packet, matching process()'s accounting
-            self.stats.content_matches += len({e.string_number for e in events})
-            # flows evicted up to this packet restart with empty state (the
-            # eviction is always triggered by a *different* flow's arrival)
-            while next_eviction < len(evictions) and evictions[next_eviction][0] <= index:
-                _, evicted_key = evictions[next_eviction]
-                next_eviction += 1
-                found.pop(evicted_key, None)
-                alerted.pop(evicted_key, None)
-            key = StreamScanner.flow_key(packet)
-            flow_found = found.setdefault(key, set())
-            for event in events:
-                pattern = self._number_to_pattern[event.string_number]
-                if not event.lowered or pattern in self._nocase_patterns:
-                    flow_found.add(pattern)
-            candidates = self.classifier.classify(packet.header)
-            self.stats.header_candidates += len(candidates)
-            if not candidates:
-                continue
-            flow_alerted = alerted.setdefault(key, set())
-            for sid in candidates:
-                if sid in flow_alerted:
-                    continue
+        for key in self._confirm.flow_keys():
+            for packet_id, sid in self._confirm.finalize_flow(key):
                 rule = self.rules[sid]
-                if all(content in flow_found for content in rule.contents):
-                    alerts.append(
-                        Alert(
-                            packet_id=packet.packet_id,
-                            sid=sid,
-                            msg=rule.msg,
-                            action=rule.action,
-                        )
+                alerts.append(
+                    Alert(
+                        packet_id=packet_id,
+                        sid=sid,
+                        msg=rule.msg,
+                        action=rule.action,
                     )
-                    flow_alerted.add(sid)
-                    self.stats.alerts_raised += 1
+                )
+                self.stats.alerts_raised += 1
         return alerts
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (serial flow scan)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """Serialise the serial flow scan's state: scanner flows + confirm.
+
+        Everything the confirm stage needs across a restart — absolute hit
+        positions per flow, pcre byte buffers, pending negation candidacy —
+        rides next to the scanner's resumable automaton states, so a
+        restored IDS continues mid-flow predicates exactly where it
+        stopped.  Parallel pools checkpoint through their service instead.
+        """
+        if self.workers is not None:
+            raise ValueError(
+                "checkpoint() covers the serial flow scan; a parallel IDS "
+                "checkpoints its scan service (parallel_service.checkpoint())"
+            )
+        return {
+            "flows": self.flow_scanner.flows.checkpoint(),
+            "confirm": self._confirm.checkpoint(),
+        }
+
+    def restore(self, data: Dict) -> None:
+        """Restore state saved by :meth:`checkpoint`."""
+        if self.workers is not None:
+            raise ValueError(
+                "restore() covers the serial flow scan; a parallel IDS "
+                "restores through its scan service (parallel_service.restore())"
+            )
+        scanner = self.flow_scanner
+        scanner.flows = FlowTable.restore(data["flows"])
+        self._confirm.restore(data["confirm"])

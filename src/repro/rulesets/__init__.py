@@ -13,13 +13,17 @@ from .generator import (
 )
 from .parser import (
     ContentPattern,
+    PcrePattern,
     RuleHeader,
     RuleParseError,
+    RulePredicate,
     SidAllocator,
     SnortRuleSpec,
     decode_content_pattern,
+    parse_pcre_option,
     parse_rule,
     parse_rules,
+    render_content,
     ruleset_from_specs,
     spec_from_content,
 )
@@ -35,13 +39,17 @@ __all__ = [
     "generate_paper_rulesets",
     "generate_snort_like_ruleset",
     "ContentPattern",
+    "PcrePattern",
     "RuleHeader",
     "RuleParseError",
+    "RulePredicate",
     "SidAllocator",
     "SnortRuleSpec",
     "decode_content_pattern",
+    "parse_pcre_option",
     "parse_rule",
     "parse_rules",
+    "render_content",
     "ruleset_from_specs",
     "spec_from_content",
     "reduce_ruleset",

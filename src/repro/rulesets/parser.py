@@ -1,21 +1,37 @@
 r"""Parser for Snort-style rules.
 
-Only the subset needed to drive the string matching accelerator is parsed:
+The subset parsed covers what the two-stage pipeline evaluates:
 
 * the rule header — ``action protocol src_ip src_port direction dst_ip dst_port``;
-* ``content:"..."`` options, including Snort's ``|41 42 43|`` hex escapes and
-  the backslash escapes (``\;`` ``\"`` ``\\``) that decode to the bare
-  character (the escape is never part of the pattern bytes);
-* ``msg`` and ``sid`` options;
-* the ``nocase`` modifier (recorded; case folding is applied on request).
+* ``content:"..."`` options (and negated ``content:!"..."``), including
+  Snort's ``|41 42 43|`` hex escapes and the backslash escapes (``\;`` ``\"``
+  ``\\``) that decode to the bare character (the escape is never part of the
+  pattern bytes);
+* the positional content modifiers ``offset``/``depth`` (absolute) and
+  ``distance``/``within`` (relative to the previous positive content match);
+* the ``nocase`` modifier (the confirm stage folds case end to end);
+* ``pcre:"/regex/flags"`` options (flags ``i``, ``s``, ``m``, ``x``),
+  compiled once through :mod:`re` and cached;
+* ``msg`` and ``sid`` options.
 
-Everything else (pcre, byte_test, flow, ...) is outside the scope of the
-paper, which matches only the *fixed strings* contained in rules, and is
-preserved verbatim in ``SnortRuleSpec.unparsed_options``.
+Everything else (byte_test, flow, http_uri, ...) is outside the scope of the
+paper's fixed-string prefilter.  In the default *lenient* mode such options
+are preserved verbatim in ``SnortRuleSpec.unparsed_options`` so genuine
+community rule files load; with ``strict=True`` any unsupported option (or a
+rule whose every content is negated, which the prefilter cannot anchor)
+raises a :class:`RuleParseError` instead.
+
+Grammar errors — duplicate or conflicting modifiers on one content, a
+relative modifier with no positive content before it, malformed values —
+are *always* errors, in both modes: they change what the rule matches, so
+silently accepting them would load a different predicate than the author
+wrote.  :func:`parse_rules` prefixes every error with its 1-based line
+number.
 """
 
 from __future__ import annotations
 
+import functools
 import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -42,16 +58,111 @@ class RuleHeader:
 
 @dataclass
 class ContentPattern:
-    """A single ``content`` option."""
+    """A single ``content`` option with its modifiers.
+
+    ``offset``/``depth`` anchor the match window to the flow start;
+    ``distance``/``within`` anchor it to the end of the previous positive
+    content's match (``doe``).  A content carries either absolute or
+    relative anchoring, never both.  ``negated`` contents
+    (``content:!"..."``) must have *no* occurrence inside their window.
+    """
 
     pattern: bytes
     nocase: bool = False
+    negated: bool = False
+    offset: Optional[int] = None
+    depth: Optional[int] = None
+    distance: Optional[int] = None
+    within: Optional[int] = None
 
     def effective_pattern(self) -> bytes:
         """Pattern actually loaded into the matcher (lower-cased if nocase)."""
         if self.nocase:
             return self.pattern.lower()
         return self.pattern
+
+    @property
+    def is_relative(self) -> bool:
+        return self.distance is not None or self.within is not None
+
+    @property
+    def is_plain(self) -> bool:
+        """No negation and no positional window: a bare string test."""
+        return not self.negated and all(
+            value is None
+            for value in (self.offset, self.depth, self.distance, self.within)
+        )
+
+
+#: pcre flags the confirm stage supports, mapped onto :mod:`re` flags.
+PCRE_FLAGS = {
+    "i": re.IGNORECASE,
+    "s": re.DOTALL,
+    "m": re.MULTILINE,
+    "x": re.VERBOSE,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def _compile_pcre(body: str, flags: str):
+    """Compile (and cache) one pcre body as a bytes regex.
+
+    The cache is what "compiled once per rule" means operationally: every
+    :class:`PcrePattern` with the same body+flags shares one compiled
+    object, across rules, evaluators and re-parses.
+    """
+    value = 0
+    for flag in flags:
+        value |= PCRE_FLAGS[flag]
+    return re.compile(body.encode("latin-1"), value)
+
+
+@dataclass(frozen=True)
+class PcrePattern:
+    """A ``pcre:"/regex/flags"`` option (negated: ``pcre:!"/regex/"``)."""
+
+    pattern: str
+    flags: str = ""
+    negated: bool = False
+
+    def compile(self):
+        """The cached compiled bytes-regex for this pattern."""
+        return _compile_pcre(self.pattern, self.flags)
+
+
+@dataclass
+class RulePredicate:
+    """The full match predicate of one rule: ordered contents plus pcres.
+
+    This is what the two-stage pipeline evaluates — the prefilter reports
+    where each content occurs, :mod:`repro.ids.confirm` decides whether
+    those occurrences satisfy the windows, negations and pcres.
+    """
+
+    contents: Tuple[ContentPattern, ...] = ()
+    pcres: Tuple[PcrePattern, ...] = ()
+
+    @property
+    def positive(self) -> Tuple[ContentPattern, ...]:
+        """The non-negated contents (what the prefilter can gate on)."""
+        return tuple(c for c in self.contents if not c.negated)
+
+    @property
+    def is_plain(self) -> bool:
+        """True when the predicate is just "every content occurs somewhere"."""
+        return not self.pcres and all(c.is_plain for c in self.contents)
+
+    @property
+    def requires_end(self) -> bool:
+        """True when the verdict can change at flow end (negation present)."""
+        return any(c.negated for c in self.contents) or any(
+            p.negated for p in self.pcres
+        )
+
+    def scan_patterns(self) -> List[bytes]:
+        """Effective patterns the prefilter must search (negated ones too:
+        their *occurrences* are what decides the negation window)."""
+        return [c.effective_pattern() for c in self.contents]
 
 
 @dataclass
@@ -60,6 +171,7 @@ class SnortRuleSpec:
 
     header: RuleHeader
     contents: List[ContentPattern] = field(default_factory=list)
+    pcres: List[PcrePattern] = field(default_factory=list)
     msg: str = ""
     sid: Optional[int] = None
     unparsed_options: List[Tuple[str, Optional[str]]] = field(default_factory=list)
@@ -67,6 +179,14 @@ class SnortRuleSpec:
     @property
     def fixed_strings(self) -> List[bytes]:
         return [c.effective_pattern() for c in self.contents]
+
+    @property
+    def positive_contents(self) -> List[ContentPattern]:
+        return [c for c in self.contents if not c.negated]
+
+    @property
+    def predicate(self) -> RulePredicate:
+        return RulePredicate(contents=tuple(self.contents), pcres=tuple(self.pcres))
 
 
 #: ``<-`` is matched so it can be rejected with a precise error message:
@@ -143,6 +263,34 @@ def decode_content_pattern(text: str) -> bytes:
     return bytes(out)
 
 
+def render_content(pattern: bytes) -> str:
+    r"""Render pattern bytes as a content string that round-trips.
+
+    The inverse of :func:`decode_content_pattern` for the printable common
+    case: bytes that are printable ASCII and not special to the grammar are
+    emitted raw, everything else (including ``|``, ``"``, ``;`` and ``\``)
+    as a ``|hex|`` block — so the output never needs backslash escapes:
+
+    >>> render_content(b'GET /\r\n')
+    'GET /|0D0A|'
+    >>> decode_content_pattern(render_content(bytes(range(256)))) == bytes(range(256))
+    True
+    """
+    out: List[str] = []
+    run: List[str] = []  # pending hex bytes, merged into one |...| block
+    for b in pattern:
+        if 0x20 <= b < 0x7F and chr(b) not in '|";\\':
+            if run:
+                out.append("|" + "".join(run) + "|")
+                run = []
+            out.append(chr(b))
+        else:
+            run.append(f"{b:02X}")
+    if run:
+        out.append("|" + "".join(run) + "|")
+    return "".join(out)
+
+
 def _unescape_text(text: str) -> str:
     r"""Strip Snort option-value escapes (``\;`` ``\"`` ``\\``) from ``text``.
 
@@ -203,8 +351,103 @@ def _strip_quotes(value: str) -> str:
     return value
 
 
-def parse_rule(line: str) -> SnortRuleSpec:
-    """Parse one Snort rule line into a :class:`SnortRuleSpec`."""
+def parse_pcre_option(value: str, strict: bool = False) -> PcrePattern:
+    r"""Parse a ``pcre`` option value (``"/regex/flags"`` or ``!"/regex/"``).
+
+    The body between the delimiters is handed to :mod:`re` verbatim (after
+    un-escaping ``\"``, which the option quoting requires).  Flags outside
+    ``i s m x`` are dropped in lenient mode and rejected in strict mode; a
+    body :mod:`re` cannot compile is always an error.
+
+    >>> parse_pcre_option(r'"/cmd\.exe/i"')
+    PcrePattern(pattern='cmd\\.exe', flags='i', negated=False)
+    """
+    text = value.strip()
+    negated = text.startswith("!")
+    if negated:
+        text = text[1:].strip()
+    text = _strip_quotes(text)
+    if len(text) < 2 or text[0] != "/":
+        raise RuleParseError(f"pcre must look like \"/regex/flags\": {value!r}")
+    delimiter = text.rfind("/")
+    if delimiter == 0:
+        raise RuleParseError(f"unterminated pcre (no closing '/'): {value!r}")
+    body = text[1:delimiter].replace('\\"', '"')
+    flags = text[delimiter + 1:]
+    unsupported = "".join(f for f in flags if f not in PCRE_FLAGS)
+    if unsupported:
+        if strict:
+            raise RuleParseError(
+                f"unsupported pcre flag(s) {unsupported!r} in {value!r} "
+                f"(supported: {''.join(sorted(PCRE_FLAGS))})"
+            )
+        flags = "".join(f for f in flags if f in PCRE_FLAGS)
+    try:
+        _compile_pcre(body, flags)
+    except UnicodeEncodeError as exc:
+        raise RuleParseError(
+            f"non-latin-1 character in pcre: {value!r}"
+        ) from exc
+    except re.error as exc:
+        raise RuleParseError(f"invalid pcre {value!r}: {exc}") from exc
+    return PcrePattern(pattern=body, flags=flags, negated=negated)
+
+
+#: content modifiers taking an integer value, with their anchoring class.
+_WINDOW_MODIFIERS = {
+    "offset": "absolute",
+    "depth": "absolute",
+    "distance": "relative",
+    "within": "relative",
+}
+
+
+def _apply_window_modifier(
+    spec: SnortRuleSpec, key: str, value: Optional[str]
+) -> None:
+    """Attach one ``offset``/``depth``/``distance``/``within`` to the last
+    content, rejecting duplicates and conflicting anchoring."""
+    if not spec.contents:
+        raise RuleParseError(f"{key} modifier before any content option")
+    content = spec.contents[-1]
+    try:
+        amount = int(value if value is not None else "")
+    except ValueError as exc:
+        raise RuleParseError(f"invalid {key} value: {value!r}") from exc
+    if getattr(content, key) is not None:
+        raise RuleParseError(f"duplicate {key} modifier on content {content.pattern!r}")
+    anchoring = _WINDOW_MODIFIERS[key]
+    if anchoring == "absolute" and content.is_relative:
+        raise RuleParseError(
+            f"{key} conflicts with distance/within on content {content.pattern!r}: "
+            "a content anchors either to the flow start or to the previous match"
+        )
+    if anchoring == "relative":
+        if content.offset is not None or content.depth is not None:
+            raise RuleParseError(
+                f"{key} conflicts with offset/depth on content {content.pattern!r}: "
+                "a content anchors either to the flow start or to the previous match"
+            )
+        if not any(not c.negated for c in spec.contents[:-1]):
+            raise RuleParseError(
+                f"{key} modifier on the first content has no previous match "
+                "to anchor to"
+            )
+    if key == "offset" and amount < 0:
+        raise RuleParseError(f"offset must be >= 0, got {amount}")
+    if key in ("depth", "within") and amount < 1:
+        raise RuleParseError(f"{key} must be >= 1, got {amount}")
+    setattr(content, key, amount)
+
+
+def parse_rule(line: str, strict: bool = False) -> SnortRuleSpec:
+    """Parse one Snort rule line into a :class:`SnortRuleSpec`.
+
+    ``strict`` rejects unsupported options, unsupported pcre flags and rules
+    without a positive content; lenient (the default) records unsupported
+    options in ``unparsed_options`` and leaves the skipping policy to the
+    consumer.  Grammar errors are rejected in both modes.
+    """
     line = line.strip()
     if not line or line.startswith("#"):
         raise RuleParseError("empty line or comment")
@@ -230,13 +473,31 @@ def parse_rule(line: str) -> SnortRuleSpec:
         if key_lower == "content":
             if value is None:
                 raise RuleParseError("content option requires a value")
+            text = value.strip()
+            negated = text.startswith("!")
+            if negated:
+                text = text[1:].strip()
             spec.contents.append(
-                ContentPattern(pattern=decode_content_pattern(_strip_quotes(value)))
+                ContentPattern(
+                    pattern=decode_content_pattern(_strip_quotes(text)),
+                    negated=negated,
+                )
             )
         elif key_lower == "nocase":
             if not spec.contents:
                 raise RuleParseError("nocase modifier before any content option")
+            if spec.contents[-1].nocase:
+                raise RuleParseError(
+                    f"duplicate nocase modifier on content "
+                    f"{spec.contents[-1].pattern!r}"
+                )
             spec.contents[-1].nocase = True
+        elif key_lower in _WINDOW_MODIFIERS:
+            _apply_window_modifier(spec, key_lower, value)
+        elif key_lower == "pcre":
+            if value is None:
+                raise RuleParseError("pcre option requires a value")
+            spec.pcres.append(parse_pcre_option(value, strict=strict))
         elif key_lower == "msg":
             spec.msg = _unescape_text(_strip_quotes(value or ""))
         elif key_lower == "sid":
@@ -244,12 +505,22 @@ def parse_rule(line: str) -> SnortRuleSpec:
                 spec.sid = int(value or "")
             except ValueError as exc:
                 raise RuleParseError(f"invalid sid: {value!r}") from exc
+        elif strict:
+            raise RuleParseError(
+                f"unsupported option {key!r} (strict mode; drop --strict-rules "
+                "or remove the option)"
+            )
         else:
             spec.unparsed_options.append((key, value))
+    if strict and not any(not c.negated for c in spec.contents):
+        raise RuleParseError(
+            "rule has no positive (non-negated) content for the prefilter "
+            "to anchor on"
+        )
     return spec
 
 
-def parse_rules(lines: Iterable[str]) -> List[SnortRuleSpec]:
+def parse_rules(lines: Iterable[str], strict: bool = False) -> List[SnortRuleSpec]:
     """Parse many rule lines, silently skipping blanks and comments.
 
     Parse errors carry the 1-based line number, so a reject deep inside a
@@ -261,7 +532,7 @@ def parse_rules(lines: Iterable[str]) -> List[SnortRuleSpec]:
         if not stripped or stripped.startswith("#"):
             continue
         try:
-            specs.append(parse_rule(stripped))
+            specs.append(parse_rule(stripped, strict=strict))
         except RuleParseError as exc:
             raise RuleParseError(f"line {number}: {exc}") from exc
     return specs
@@ -347,7 +618,9 @@ def ruleset_from_specs(
     """Collect the unique fixed strings of parsed rules into a :class:`RuleSet`.
 
     The paper searches for *unique strings*; when ``dedupe`` is set, a pattern
-    appearing in several rules is stored once (first sid wins).
+    appearing in several rules is stored once (first sid wins).  Negated
+    contents contribute their pattern too — the prefilter must report where
+    they occur for the confirm stage to decide the negation window.
 
     Sid assignment is deterministic and never silently rewrites an explicit
     sid that is still free: the *first* rule claiming a sid keeps it, and any

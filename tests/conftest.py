@@ -264,3 +264,235 @@ def assert_equivalent_events(
     assert reference is not None, "no backend/worker/source combinations given"
     reference.combinations = combinations
     return reference
+
+
+# ----------------------------------------------------------------------
+# the naive rule-semantics reference and the alert-equivalence harness
+# ----------------------------------------------------------------------
+def naive_occurrence_ends(data: bytes, content) -> List[int]:
+    """All end offsets of a content in ``data`` by plain ``bytes.find``.
+
+    ``nocase`` searches the lower-cased bytes — byte-for-byte what the
+    two-stage pipeline's merged raw+lowered views amount to, derived
+    independently from whole reassembled payloads.
+    """
+    pattern = content.effective_pattern()
+    haystack = data.lower() if content.nocase else data
+    ends: List[int] = []
+    start = haystack.find(pattern)
+    while start != -1:
+        ends.append(start + len(pattern))
+        start = haystack.find(pattern, start + 1)
+    return ends
+
+
+def naive_rule_match(spec, data: bytes, at_end: bool) -> bool:
+    """Evaluate one parsed rule over a whole (reassembled) flow prefix.
+
+    An independent implementation of the documented predicate semantics
+    (see :mod:`repro.ids.confirm`): occurrence windows by ``bytes.find``,
+    chain backtracking by plain recursion, negation decided when the window
+    is provably complete, pcre via :mod:`re` over the full bytes.  This is
+    the ground truth the two-stage pipeline is differentially tested
+    against; it shares no code with the prefilter or the confirm stage.
+    """
+    contents = list(spec.contents)
+
+    def window(content, doe):
+        if content.is_relative:
+            lo = doe + (content.distance or 0)
+            hi = lo + content.within if content.within is not None else None
+        else:
+            lo = content.offset or 0
+            hi = lo + content.depth if content.depth is not None else None
+        return lo, hi
+
+    def pcres_ok() -> bool:
+        for pcre in spec.pcres:
+            found = pcre.compile().search(data) is not None
+            if pcre.negated:
+                if found or not at_end:
+                    return False
+            elif not found:
+                return False
+        return True
+
+    def chain(index: int, doe: int) -> bool:
+        if index == len(contents):
+            return pcres_ok()
+        content = contents[index]
+        length = len(content.pattern)
+        lo, hi = window(content, doe)
+        ends = naive_occurrence_ends(data, content)
+        if content.negated:
+            occupied = any(
+                end - length >= lo and (hi is None or end <= hi) for end in ends
+            )
+            decided = at_end or (hi is not None and len(data) >= hi)
+            return (not occupied) and decided and chain(index + 1, doe)
+        for end in ends:
+            if hi is not None and end > hi:
+                continue
+            if end - length >= lo and chain(index + 1, end):
+                return True
+        return False
+
+    return chain(0, 0)
+
+
+def naive_reference_alerts(specs, packets: Sequence[Packet]) -> List[Tuple[int, int]]:
+    """The exact ``(packet_id, sid)`` alert sequence the pipeline must emit.
+
+    Mirrors the pipeline's attribution contract on whole reassembled
+    prefixes: a rule alerts once per flow at the first packet where its
+    predicate holds mid-stream, and rules with negated components get one
+    more evaluation at flow end, attributed to the flow's last packet, with
+    flows walked in first-seen order.  Assumes wildcard rule headers (what
+    the randomized predicate workloads use), so every rule is a candidate
+    for every flow.
+    """
+    active = [spec for spec in specs if spec.positive_contents]
+    flows: Dict[object, Dict] = {}
+    out: List[Tuple[int, int]] = []
+    for packet in packets:
+        key = (packet.header.src_ip, packet.header.src_port,
+               packet.header.dst_ip, packet.header.dst_port,
+               packet.header.protocol) if packet.header is not None else None
+        state = flows.get(key)
+        if state is None:
+            state = flows[key] = {"data": bytearray(), "last": -1, "alerted": set()}
+        state["data"] += packet.payload
+        state["last"] = packet.packet_id
+        for spec in active:
+            if spec.sid in state["alerted"]:
+                continue
+            if naive_rule_match(spec, bytes(state["data"]), at_end=False):
+                state["alerted"].add(spec.sid)
+                out.append((packet.packet_id, spec.sid))
+    for state in flows.values():  # insertion order = first-seen order
+        for spec in active:
+            if spec.sid in state["alerted"]:
+                continue
+            requires_end = any(c.negated for c in spec.contents) or any(
+                p.negated for p in spec.pcres
+            )
+            if not requires_end:
+                continue
+            if naive_rule_match(spec, bytes(state["data"]), at_end=True):
+                state["alerted"].add(spec.sid)
+                out.append((state["last"], spec.sid))
+    return out
+
+
+def random_predicate_rules(ruleset: RuleSet, seed: int, num_rules: int = 12):
+    """Randomized full-grammar rules over a synthetic ruleset's patterns.
+
+    Builds rule *lines* (then parses them, so the parser is in the loop):
+    wildcard headers, 1–3 contents drawn from ``ruleset`` (later ones may be
+    negated), random offset/depth/distance/within windows, occasional
+    ``nocase`` and ``pcre`` options.  Patterns come from the same ruleset
+    the traffic generator injects, so prefilter hits are guaranteed and the
+    windows decide the interesting part.
+    """
+    from repro.rulesets import parse_rules, render_content
+
+    rng = random.Random(seed)
+    patterns = list(ruleset.patterns)
+    lines = []
+    for index in range(num_rules):
+        # biased toward short chains: single-content rules fire often enough
+        # to keep the differential workload hot, longer chains exercise the
+        # relative-window machinery
+        count = 1 if rng.random() < 0.45 else (2 if rng.random() < 0.8 else 3)
+        count = min(count, len(patterns))
+        chosen = rng.sample(patterns, count)
+        options = []
+        for position, pattern in enumerate(chosen):
+            negated = position > 0 and rng.random() < 0.25
+            bang = "!" if negated else ""
+            options.append(f'content:{bang}"{render_content(pattern)}"')
+            if rng.random() < 0.2:
+                options.append("nocase")
+            if position == 0:
+                if rng.random() < 0.4:
+                    options.append(f"offset:{rng.randint(0, 8)}")
+                if rng.random() < 0.4:
+                    options.append(f"depth:{len(pattern) + rng.randint(0, 600)}")
+            else:
+                if rng.random() < 0.5:
+                    options.append(f"distance:{rng.randint(0, 4)}")
+                if rng.random() < 0.5:
+                    options.append(f"within:{len(pattern) + rng.randint(0, 300)}")
+        if rng.random() < 0.3:
+            # regex over an alphanumeric fragment of a positive pattern, so
+            # the body never collides with the option grammar
+            fragment = _alnum_fragment(chosen[0])
+            if fragment:
+                bang = "!" if rng.random() < 0.3 else ""
+                flags = "i" if rng.random() < 0.5 else ""
+                options.append(f'pcre:{bang}"/{fragment}.*/{flags}"')
+        options.append(f"sid:{5000 + index}")
+        lines.append(
+            "alert ip any any -> any any (" + "; ".join(options) + ";)"
+        )
+    return parse_rules(lines)
+
+
+def _alnum_fragment(pattern: bytes, minimum: int = 3):
+    """Longest run of ``[a-z0-9]`` bytes, or ``None`` if shorter than
+    ``minimum`` — keeps generated pcre bodies free of regex metacharacters."""
+    best = b""
+    current = b""
+    for byte in pattern:
+        if 97 <= byte <= 122 or 48 <= byte <= 57:
+            current += bytes([byte])
+            if len(current) > len(best):
+                best = current
+        else:
+            current = b""
+    return best.decode("ascii") if len(best) >= minimum else None
+
+
+def assert_equivalent_alerts(
+    specs,
+    packets: Sequence[Packet],
+    *,
+    backends: Sequence[str] = ("dtp", "dense"),
+    worker_counts: Sequence[Optional[int]] = (None, 2),
+    sources: Sequence[str] = ("memory", "pcap"),
+    flow_capacity: int = 4096,
+) -> List[Tuple[int, int]]:
+    """Differentially check the two-stage pipeline against the naive
+    reference: every backend × workers × source combination must produce the
+    naive evaluator's exact ``(packet_id, sid)`` alert sequence.  Returns
+    that sequence so callers can assert workload-specific properties.
+    """
+    from repro.capture import replay_ids
+    from repro.ids import IntrusionDetectionSystem
+
+    packets = renumbered(list(packets))
+    expected = naive_reference_alerts(specs, packets)
+    capture = None
+    if "pcap" in sources:
+        buffer = io.BytesIO()
+        write_packets(buffer, packets)
+        capture = buffer.getvalue()
+    for backend in backends:
+        for workers in worker_counts:
+            for source in sources:
+                label = f"backend={backend} workers={workers} source={source}"
+                ids = IntrusionDetectionSystem.from_specs(
+                    specs, backend=backend, workers=workers
+                )
+                if flow_capacity != 4096:
+                    ids.reset_flows(capacity=flow_capacity)
+                with ids:
+                    if source == "memory":
+                        alerts = ids.scan_flow(packets) + ids.finish()
+                    else:
+                        alerts = replay_ids(io.BytesIO(capture), ids)
+                got = [(alert.packet_id, alert.sid) for alert in alerts]
+                assert got == expected, (
+                    f"{label} alerts differ from the naive reference"
+                )
+    return expected

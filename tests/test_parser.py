@@ -109,7 +109,9 @@ class TestParseRule:
             'alert tcp any any -> any any (content:"x1"; flow:to_server; depth:10; sid:1;)'
         )
         assert ("flow", "to_server") in spec.unparsed_options
-        assert ("depth", "10") in spec.unparsed_options
+        # depth is real grammar now, not an unknown option
+        assert spec.contents[0].depth == 10
+        assert spec.unparsed_options == [("flow", "to_server")]
 
     def test_escaped_content_loads_correct_pattern(self):
         # regression: the backslash used to survive into the pattern bytes,
