@@ -1,0 +1,202 @@
+"""E14 — TCP reassembly: normalization cost and detection recovery.
+
+Not a paper artefact: this measures the :mod:`repro.proto` reassembly layer
+that sits between packet capture and the scan column.  Flows carrying
+deliberately split patterns are mangled on the wire (segment reordering,
+retransmission, overlap re-splitting — the classic IDS evasion repertoire)
+and pushed through :class:`repro.proto.TcpReassembler` before a sharded
+:class:`repro.streaming.ScanService`.
+
+Standalone ``--smoke`` mode is the CI regression gate for the reassembly
+path: it times the service scanning the clean in-order segments (the
+baseline the reassembler must reconstruct) against reassemble-then-scan over
+the mangled wire, checks that the match set is byte-for-byte recovered while
+a direct scan of the mangled wire demonstrably loses matches, writes
+``BENCH_reassembly_smoke.json``, and exits non-zero when the normalization
+overhead falls past a deliberately generous threshold — CI containers are
+noisy, so the gate only catches a real slowdown of the ordering hot path,
+not run-to-run jitter.
+
+    PYTHONPATH=src python benchmarks/bench_reassembly.py --smoke
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.backend import get_backend
+from repro.proto import reassemble_packets
+from repro.rulesets import generate_snort_like_ruleset
+from repro.streaming import ScanService
+from repro.traffic import MANGLE_MODES, TrafficGenerator
+
+DEFAULT_SMOKE_OUTPUT = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_reassembly_smoke.json"
+)
+
+BENCH_SEED = 2010
+NUM_SHARDS = 4
+
+SMOKE_RULESET_SIZE = 40
+SMOKE_FLOWS = 33  # divisible by len(MANGLE_MODES): equal flows per mode
+SMOKE_SEGMENTS_PER_FLOW = 4
+SMOKE_SEGMENT_BYTES = 256
+SMOKE_REPEATS = 3
+#: reassemble-then-scan may be at most this many times slower than scanning
+#: the clean in-order segments; the in-order fast path of the reassembler
+#: sits well under 2x, so 4.0 has headroom for CI noise on both sides.
+SMOKE_MAX_RATIO = 4.0
+
+
+def _event_key(match):
+    """Stream matches are flow-absolute, so identical streams must yield
+    identical keys regardless of how the wire re-segmented them.  The flow
+    key drops the protocol field because ``mangle`` forces ``tcp`` onto
+    flows the generator may have drawn as ``udp``."""
+    flow = match.flow
+    return (
+        flow.src_ip,
+        flow.dst_ip,
+        flow.src_port,
+        flow.dst_port,
+        match.string_number,
+        match.end_offset,
+        match.lowered,
+    )
+
+
+def run_smoke(repeats: int = SMOKE_REPEATS) -> Dict:
+    """Clean in-order scan vs reassemble-then-scan over mangled wire."""
+    ruleset = generate_snort_like_ruleset(SMOKE_RULESET_SIZE, seed=BENCH_SEED)
+    program = get_backend("dense").compile(ruleset.patterns)
+    generator = TrafficGenerator(ruleset, seed=BENCH_SEED + SMOKE_FLOWS)
+    flows = generator.flows(
+        SMOKE_FLOWS,
+        num_packets=SMOKE_SEGMENTS_PER_FLOW,
+        split_patterns=1,
+        segment_bytes=SMOKE_SEGMENT_BYTES,
+    )
+    clean = TrafficGenerator.interleave(flows)
+    payload_bytes = sum(len(packet.payload) for packet in clean)
+
+    modes = MANGLE_MODES
+    mangled_flows = [
+        generator.mangle(flow, mode=modes[index % len(modes)])
+        for index, flow in enumerate(flows)
+    ]
+    wire = TrafficGenerator.interleave(mangled_flows)
+
+    clean_best = float("inf")
+    mangled_best = float("inf")
+    clean_events = set()
+    recovered_events = set()
+    evaded_events = set()
+    stats = None
+    for _ in range(repeats):
+        service = ScanService(program, num_shards=NUM_SHARDS)
+        start = time.perf_counter()
+        result = service.scan(clean)
+        clean_best = min(clean_best, time.perf_counter() - start)
+        clean_events = {_event_key(match) for match in result.events}
+
+        service = ScanService(program, num_shards=NUM_SHARDS)
+        start = time.perf_counter()
+        ordered, stats = reassemble_packets(wire)
+        result = service.scan(ordered)
+        mangled_best = min(mangled_best, time.perf_counter() - start)
+        recovered_events = {_event_key(match) for match in result.events}
+
+        # the evasion the subsystem exists to close: the same wire scanned
+        # in arrival order loses the matches the mangling tore apart
+        service = ScanService(program, num_shards=NUM_SHARDS)
+        evaded_events = {_event_key(match) for match in service.scan(wire).events}
+
+    clean_mb = payload_bytes / clean_best / 1e6
+    mangled_mb = payload_bytes / mangled_best / 1e6
+    ratio = clean_mb / mangled_mb
+    return {
+        "generated_by": "benchmarks/bench_reassembly.py --smoke",
+        "seed": BENCH_SEED,
+        "backend": "dense",
+        "ruleset_size": SMOKE_RULESET_SIZE,
+        "flows": SMOKE_FLOWS,
+        "segments_per_flow": SMOKE_SEGMENTS_PER_FLOW,
+        "segment_bytes": SMOKE_SEGMENT_BYTES,
+        "num_shards": NUM_SHARDS,
+        "repeats": repeats,
+        "payload_bytes": payload_bytes,
+        "mangle_modes": list(modes),
+        "wire_segments": stats.segments_in,
+        "reordered_segments": stats.reordered,
+        "retransmitted_segments": stats.retransmits,
+        "clean_events": len(clean_events),
+        "recovered_events": len(recovered_events),
+        "events_without_reassembly": len(evaded_events),
+        "match_set_recovered": recovered_events == clean_events,
+        "evasion_demonstrated": len(evaded_events) < len(clean_events),
+        "clean_scan_mb_per_s": clean_mb,
+        "reassemble_scan_mb_per_s": mangled_mb,
+        "reassembly_vs_clean_ratio": ratio,
+        "max_ratio": SMOKE_MAX_RATIO,
+        "within_threshold": ratio <= SMOKE_MAX_RATIO
+        and recovered_events == clean_events,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reassembly regression smoke: clean scan vs "
+                             "reassemble-then-scan over mangled wire")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_SMOKE_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=SMOKE_REPEATS)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("the full sweep runs under pytest-benchmark; use --smoke here")
+
+    report = run_smoke(repeats=args.repeats)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"reassembly smoke: clean {report['clean_scan_mb_per_s']:.2f} MB/s, "
+        f"reassemble+scan {report['reassemble_scan_mb_per_s']:.2f} MB/s, ratio "
+        f"{report['reassembly_vs_clean_ratio']:.2f}x (max {report['max_ratio']}x)"
+    )
+    print(
+        f"detection: {report['recovered_events']}/{report['clean_events']} "
+        f"matches recovered from mangled wire "
+        f"({report['events_without_reassembly']} without reassembly; "
+        f"{report['reordered_segments']} reordered, "
+        f"{report['retransmitted_segments']} retransmitted segments)"
+    )
+    print(f"wrote {args.output}")
+    if not report["within_threshold"]:
+        print("REGRESSION: reassembly path fell past the normalization threshold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_reassembly_smoke_gate(results_dir):
+    """The CI gate's report must be structurally sound and within threshold
+    on a quiet machine; full match-set recovery is the subsystem working."""
+    report = run_smoke()
+    path = results_dir / "BENCH_reassembly_smoke.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    assert report["clean_scan_mb_per_s"] > 0
+    assert report["reassemble_scan_mb_per_s"] > 0
+    assert report["reordered_segments"] > 0
+    assert report["retransmitted_segments"] > 0
+    assert report["match_set_recovered"]
+    assert report["evasion_demonstrated"]
+    assert report["within_threshold"], (
+        f"reassemble-then-scan is {report['reassembly_vs_clean_ratio']:.2f}x "
+        f"slower than the clean in-order scan (max {report['max_ratio']}x)"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

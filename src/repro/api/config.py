@@ -40,6 +40,11 @@ from typing import (
     Union,
 )
 
+from ..proto.reassembly import (
+    DEFAULT_MAX_FLOW_BYTES,
+    DEFAULT_REASSEMBLY_FLOWS,
+    OVERLAP_POLICIES,
+)
 from ..traffic.packet import FiveTuple, Packet
 
 #: Pipeline execution modes: stateless per-packet matching, stateful
@@ -247,7 +252,7 @@ class SourceSpec:
 
 
 def _packet_to_dict(packet: Packet) -> Dict[str, Any]:
-    return {
+    out: Dict[str, Any] = {
         "payload": packet.payload.hex(),
         "header": None if packet.header is None else {
             "src_ip": packet.header.src_ip,
@@ -258,11 +263,20 @@ def _packet_to_dict(packet: Packet) -> Dict[str, Any]:
         },
         "packet_id": packet.packet_id,
     }
+    if packet.tcp_seq is not None:
+        out["tcp_seq"] = packet.tcp_seq
+    if packet.tcp_flags is not None:
+        out["tcp_flags"] = packet.tcp_flags
+    return out
 
 
 def _packet_from_dict(data: Dict[str, Any]) -> Packet:
-    _check_keys(data, ("payload", "header", "packet_id"), "packet")
+    _check_keys(
+        data, ("payload", "header", "packet_id", "tcp_seq", "tcp_flags"), "packet"
+    )
     header = data.get("header")
+    seq = data.get("tcp_seq")
+    flags = data.get("tcp_flags")
     return Packet(
         payload=bytes.fromhex(data["payload"]),
         header=None if header is None else FiveTuple(
@@ -273,6 +287,8 @@ def _packet_from_dict(data: Dict[str, Any]) -> Packet:
             protocol=str(header["protocol"]),
         ),
         packet_id=int(data.get("packet_id", 0)),
+        tcp_seq=None if seq is None else int(seq),
+        tcp_flags=None if flags is None else int(flags),
     )
 
 
@@ -387,6 +403,15 @@ class EngineSpec:
     undecodable frames instead of skipping and counting them.
     ``ring_slots``/``ring_slot_bytes`` (``None`` = the transport defaults)
     size the parallel service's per-worker shared-memory payload rings.
+
+    ``reassemble`` inserts the :class:`repro.proto.TcpReassembler` between
+    the packet source and the scan path: TCP segments are re-ordered by
+    sequence number per flow before scanning (flows without usable sequence
+    state fall back to arrival order).  ``overlap_policy`` picks whose bytes
+    win when retransmitted segments disagree (``"first"``: the earlier copy,
+    ``"last"``: the later one — Snort's target-based policies);
+    ``reassembly_flows``/``reassembly_bytes`` bound the reassembler's
+    per-flow table and hole buffers.
     """
 
     backend: str = "dtp"
@@ -397,6 +422,10 @@ class EngineSpec:
     strict: bool = False
     ring_slots: Optional[int] = None
     ring_slot_bytes: Optional[int] = None
+    reassemble: bool = False
+    overlap_policy: str = "first"
+    reassembly_flows: int = DEFAULT_REASSEMBLY_FLOWS
+    reassembly_bytes: int = DEFAULT_MAX_FLOW_BYTES
 
     def __post_init__(self) -> None:
         from ..backend import backend_names
@@ -422,6 +451,15 @@ class EngineSpec:
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ConfigError(f"{name} must be >= 1, got {value}")
+        if self.overlap_policy not in OVERLAP_POLICIES:
+            raise ConfigError(
+                f"unknown overlap_policy {self.overlap_policy!r}; available: "
+                f"{', '.join(OVERLAP_POLICIES)}"
+            )
+        for name in ("reassembly_flows", "reassembly_bytes"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -438,6 +476,14 @@ class EngineSpec:
             out["ring_slots"] = self.ring_slots
         if self.ring_slot_bytes is not None:
             out["ring_slot_bytes"] = self.ring_slot_bytes
+        if self.reassemble:
+            out["reassemble"] = True
+        if self.overlap_policy != "first":
+            out["overlap_policy"] = self.overlap_policy
+        if self.reassembly_flows != DEFAULT_REASSEMBLY_FLOWS:
+            out["reassembly_flows"] = self.reassembly_flows
+        if self.reassembly_bytes != DEFAULT_MAX_FLOW_BYTES:
+            out["reassembly_bytes"] = self.reassembly_bytes
         return out
 
     @classmethod
@@ -447,6 +493,8 @@ class EngineSpec:
             (
                 "backend", "device", "shards", "workers", "flow_capacity",
                 "strict", "ring_slots", "ring_slot_bytes",
+                "reassemble", "overlap_policy", "reassembly_flows",
+                "reassembly_bytes",
             ),
             "engine",
         )

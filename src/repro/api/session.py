@@ -81,6 +81,7 @@ class Session:
         self._service = _UNSET
         self._ids = _UNSET
         self._hardware = _UNSET
+        self._reassembler = _UNSET
         self._sid_of = _UNSET
         self._payload_bytes = _UNSET
         # one remap dict per allocator pass: ruleset_from_specs assigns a sid
@@ -279,6 +280,30 @@ class Session:
         return self._service
 
     @property
+    def reassembler(self):
+        """The configured :class:`repro.proto.TcpReassembler`.
+
+        ``None`` unless the engine set ``reassemble=True``.  One instance
+        persists across :meth:`scan` calls, so segments buffered behind a
+        sequence hole carry over exactly like the scan services' flow
+        state; :meth:`run` and :meth:`serve` flush it when their finite
+        source ends.
+        """
+        if self._reassembler is _UNSET:
+            engine = self.config.engine
+            if not engine.reassemble:
+                self._reassembler = None
+            else:
+                from ..proto.reassembly import TcpReassembler
+
+                self._reassembler = TcpReassembler(
+                    overlap_policy=engine.overlap_policy,
+                    max_flows=engine.reassembly_flows,
+                    max_flow_bytes=engine.reassembly_bytes,
+                )
+        return self._reassembler
+
+    @property
     def ids(self):
         """The configured :class:`repro.ids.IntrusionDetectionSystem`."""
         if self._ids is _UNSET:
@@ -362,11 +387,32 @@ class Session:
 
         Returns the service's :class:`repro.streaming.StreamScanResult`;
         repeated calls continue the same flow state, exactly as repeated
-        ``service.scan`` calls would.
+        ``service.scan`` calls would.  With ``reassemble`` on, segments
+        pass through the session's :attr:`reassembler` first — data stuck
+        behind a sequence hole stays buffered across calls; call
+        :meth:`flush_reassembly` when no more segments will arrive.
         """
         if packets is None:
             packets = self.packets
+        if self.reassembler is not None:
+            packets = self.reassembler.process(packets)
         return self.service.scan(packets)
+
+    def flush_reassembly(self):
+        """Flush segments still buffered behind sequence holes into the scan.
+
+        Returns the :class:`repro.streaming.StreamScanResult` of the
+        flushed tail, or ``None`` when reassembly is off or nothing was
+        buffered.  :meth:`run` and :meth:`serve` call this implicitly —
+        their sources are finite — so it only needs calling after manual
+        incremental :meth:`scan` use.
+        """
+        if self.reassembler is None:
+            return None
+        tail = self.reassembler.flush_all()
+        if not tail:
+            return None
+        return self.service.scan(tail)
 
     def scan_stateless(
         self, payloads: Optional[Sequence[bytes]] = None
@@ -389,18 +435,27 @@ class Session:
           service (events in the canonical order);
         * ``ids`` mode     — :meth:`IntrusionDetectionSystem.scan_flow` over
           the source packets.
+
+        With ``reassemble`` on, the source's TCP segments are re-ordered
+        (and the reassembler flushed — the source is finite) before any
+        mode scans them; packet ids then follow reassembled emission
+        order.  Capture sinks still export the *source* packets verbatim.
         """
         packets = self.packets
+        if self.reassembler is not None:
+            packets = self.reassembler.process(packets) + self.reassembler.flush_all()
         run = RunResult(mode=self.config.mode)
         if self.config.mode == "stream":
-            run.scan_result = self.scan(packets)
+            run.scan_result = self.service.scan(packets)
             run.events = run.scan_result.events
         elif self.config.mode == "ids":
             # the source is finite, so after the last segment the flows are
             # over: decide the pending negation verdicts too
             run.alerts = self.ids.scan_flow(packets) + self.ids.finish()
         else:
-            run.per_packet = self.scan_stateless()
+            run.per_packet = self.scan_stateless(
+                [packet.payload for packet in packets]
+            )
             run.events = [
                 MatchEvent(
                     packet_id=packet.packet_id,
@@ -427,6 +482,11 @@ class Session:
         ``pcap``-source :meth:`run`.  The spec's ``max_packets`` /
         ``idle_timeout`` bound the loop; ``on_batch(result, packets)``
         observes every flushed batch as it happens.
+
+        With ``engine.reassemble`` on, every batch is routed through the
+        session's :class:`~repro.proto.reassembly.TcpReassembler` before
+        scanning, and segments still parked behind sequence holes when the
+        source closes are flushed and scanned as a final batch.
         """
         self._require_stream("serve")
         spec = self.config.source
@@ -438,6 +498,10 @@ class Session:
         from ..streaming.ingest import LiveIngestor
         from .config import _live_source_object
 
+        preprocess = preprocess_flush = None
+        if self.reassembler is not None:
+            preprocess = self.reassembler.process
+            preprocess_flush = self.reassembler.flush_all
         ingestor = LiveIngestor(
             self.service,
             batch_packets=spec.batch_packets,
@@ -445,6 +509,8 @@ class Session:
             idle_timeout=spec.idle_timeout,
             collect_events=collect_events,
             on_batch=on_batch,
+            preprocess=preprocess,
+            preprocess_flush=preprocess_flush,
         )
         return ingestor.serve(_live_source_object(self, spec))
 
@@ -454,17 +520,30 @@ class Session:
     def checkpoint(self) -> Dict:
         """Serialise the stream engine's flow state (the service envelope).
 
-        Checkpoints are interchangeable with ones taken directly from a
-        :class:`ScanService` / :class:`ParallelScanService` with the same
-        ``shards`` — the facade adds no envelope of its own.
+        Without reassembly, checkpoints are interchangeable with ones taken
+        directly from a :class:`ScanService` / :class:`ParallelScanService`
+        with the same ``shards`` — the facade adds no envelope of its own.
+        With ``reassemble`` on, the reassembler's in-flight state (buffered
+        holes, per-flow anchors) must ride along, so the checkpoint becomes
+        ``{"service": ..., "reassembly": ...}``; :meth:`restore` accepts
+        both shapes.
         """
         self._require_stream("checkpoint")
-        return self.service.checkpoint()
+        data = self.service.checkpoint()
+        if self.reassembler is not None:
+            return {"service": data, "reassembly": self.reassembler.checkpoint()}
+        return data
 
     def restore(self, data: Dict) -> None:
         """Restore flow state saved by :meth:`checkpoint` (or a raw service)."""
         self._require_stream("restore")
-        self.service.restore(data)
+        if "reassembly" in data:
+            from ..proto.reassembly import TcpReassembler
+
+            self._reassembler = TcpReassembler.restore(data["reassembly"])
+            self.service.restore(data["service"])
+        else:
+            self.service.restore(data)
 
     def _require_stream(self, what: str) -> None:
         if self.config.mode != "stream":
@@ -517,6 +596,10 @@ class Session:
                 }
         if self._service is not _UNSET:
             out["service"] = self.service.stats()
+        if self._reassembler not in (_UNSET, None):
+            from dataclasses import asdict
+
+            out["reassembly"] = asdict(self.reassembler.stats)
         if self._ids is not _UNSET:
             ids_stats = self.ids.stats
             out["ids"] = {

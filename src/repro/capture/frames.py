@@ -16,9 +16,12 @@ Supported layers:
 Frames outside that set — ARP, ICMP, IP fragments — decode to
 ``None`` with a reason, so replay can count what it skipped instead of
 failing on real-world captures.  Encoding is deterministic: fixed MAC
-addresses, zero TCP sequence numbers and correct IPv4/TCP/UDP checksums, so
-a written capture is byte-stable for a given packet stream and accepted by
-standard tools.
+addresses, caller-supplied (or zero) TCP sequence numbers and correct
+IPv4/TCP/UDP checksums, so a written capture is byte-stable for a given
+packet stream and accepted by standard tools.
+:func:`repro.capture.replay.write_packets` assigns monotone per-flow
+sequence numbers, so exported captures are valid input for the
+:mod:`repro.proto` TCP reassembler.
 """
 
 from __future__ import annotations
@@ -56,10 +59,17 @@ class FrameEncodeError(ValueError):
 
 @dataclass(frozen=True)
 class DecodedFrame:
-    """One successfully decoded frame: the scan-layer view of the bytes."""
+    """One successfully decoded frame: the scan-layer view of the bytes.
+
+    ``seq``/``flags`` carry the TCP sequence number and flag byte for TCP
+    frames (``None``/``0`` for UDP), so the :mod:`repro.proto` reassembler
+    can reorder segments without re-decoding the capture.
+    """
 
     header: FiveTuple
     payload: bytes
+    seq: Optional[int] = None
+    flags: int = 0
 
 
 def _checksum(data: bytes) -> int:
@@ -81,8 +91,8 @@ def decode_frame(
     """Decode one captured frame; returns ``(frame, None)`` or ``(None, reason)``.
 
     ``reason`` is a short stable token (``"link"``, ``"network"``,
-    ``"transport"``, ``"truncated"``) suitable for aggregation into replay
-    statistics.
+    ``"fragment"``, ``"transport"``, ``"truncated"``) suitable for
+    aggregation into replay statistics.
     """
     if linktype == LINKTYPE_ETHERNET:
         if len(data) < 14:
@@ -130,7 +140,7 @@ def _decode_ipv4(packet: bytes) -> Tuple[Optional[DecodedFrame], Optional[str]]:
     # (offset != 0) has no transport header, a first fragment (MF set) has a
     # partial payload that would silently miss boundary-spanning patterns
     if flags_fragment & 0x3FFF:  # offset bits | more-fragments
-        return None, "network"
+        return None, "fragment"
     protocol = packet[9]
     src = str(ipaddress.IPv4Address(packet[12:16]))
     dst = str(ipaddress.IPv4Address(packet[16:20]))
@@ -157,7 +167,7 @@ def _decode_ipv6(packet: bytes) -> Tuple[Optional[DecodedFrame], Optional[str]]:
         if next_header == _IPV6_FRAGMENT:
             # offset bits | M flag: only atomic fragments are complete
             if struct.unpack_from("!H", packet, position + 2)[0] & 0xFFF9:
-                return None, "network"
+                return None, "fragment"
             next_header = packet[position]
             position += 8
         else:
@@ -169,10 +179,14 @@ def _decode_ipv6(packet: bytes) -> Tuple[Optional[DecodedFrame], Optional[str]]:
 def _decode_transport(
     protocol: int, src: str, dst: str, segment: bytes
 ) -> Tuple[Optional[DecodedFrame], Optional[str]]:
+    seq: Optional[int] = None
+    flags = 0
     if protocol == _IPPROTO_TCP:
         if len(segment) < 20:
             return None, "truncated"
         src_port, dst_port = struct.unpack_from("!HH", segment, 0)
+        seq = struct.unpack_from("!I", segment, 4)[0]
+        flags = segment[13]
         data_offset = (segment[12] >> 4) * 4
         if data_offset < 20 or data_offset > len(segment):
             return None, "truncated"
@@ -193,20 +207,29 @@ def _decode_transport(
         dst_port=dst_port,
         protocol=_PROTO_NAME[protocol],
     )
-    return DecodedFrame(header=header, payload=payload), None
+    return DecodedFrame(header=header, payload=payload, seq=seq, flags=flags), None
 
 
 # ----------------------------------------------------------------------
 # encoding
 # ----------------------------------------------------------------------
 def encode_frame(
-    header: FiveTuple, payload: bytes, linktype: int = LINKTYPE_ETHERNET
+    header: FiveTuple,
+    payload: bytes,
+    linktype: int = LINKTYPE_ETHERNET,
+    *,
+    seq: int = 0,
+    flags: int = 0x18,
 ) -> bytes:
     """Render a header + payload as one frame of the given link type.
 
     The inverse of :func:`decode_frame` for the supported 5-tuples:
     ``decode_frame(encode_frame(h, p))`` returns exactly ``(h, p)``.
+    ``seq``/``flags`` set the TCP sequence number and flag byte (default
+    PSH|ACK) and are ignored for UDP.
     """
+    if not 0 <= seq <= 0xFFFFFFFF:
+        raise FrameEncodeError(f"TCP sequence number {seq} out of 32-bit range")
     protocol = _PROTO_NUMBER.get(header.protocol.lower())
     if protocol is None:
         raise FrameEncodeError(
@@ -227,7 +250,7 @@ def encode_frame(
             f"payload of {len(payload)} bytes does not fit the 16-bit length "
             f"fields of one IPv{src.version} frame"
         )
-    segment = _encode_transport(protocol, header, payload, src, dst)
+    segment = _encode_transport(protocol, header, payload, src, dst, seq, flags)
     if src.version == 4:
         ip_header = struct.pack(
             "!BBHHHBBH4s4s",
@@ -261,13 +284,13 @@ def encode_frame(
     raise FrameEncodeError(f"cannot encode link type {linktype}")
 
 
-def _encode_transport(protocol, header, payload, src, dst) -> bytes:
+def _encode_transport(protocol, header, payload, src, dst, seq=0, flags=0x18) -> bytes:
     if protocol == _IPPROTO_TCP:
         segment = struct.pack(
             "!HHIIBBHHH",
             header.src_port, header.dst_port,
-            0, 0,  # deterministic sequence numbers: replay ignores them
-            5 << 4, 0x18,  # data offset 5 words; PSH|ACK
+            seq, 0,  # deterministic ack: replay only reads one direction
+            5 << 4, flags,  # data offset 5 words
             0xFFFF, 0, 0,
         ) + payload
     else:

@@ -57,6 +57,17 @@ class ReplayStats:
     def skipped_total(self) -> int:
         return sum(self.skipped.values())
 
+    @property
+    def skipped_fragments(self) -> int:
+        """IPv4/IPv6 fragments (unscannable without IP reassembly)."""
+        return self.skipped.get("fragment", 0)
+
+    @property
+    def skipped_other(self) -> int:
+        """Everything else skipped: non-IP link frames, non-TCP/UDP
+        transports, truncated frames."""
+        return self.skipped_total - self.skipped_fragments
+
 
 def _as_capture(source: CaptureSource) -> CaptureFile:
     return source if isinstance(source, CaptureFile) else read_capture(source)
@@ -88,7 +99,13 @@ def load_packets(
             stats.skipped[reason] = stats.skipped.get(reason, 0) + 1
             continue
         packets.append(
-            Packet(payload=frame.payload, header=frame.header, packet_id=next_id)
+            Packet(
+                payload=frame.payload,
+                header=frame.header,
+                packet_id=next_id,
+                tcp_seq=frame.seq,
+                tcp_flags=frame.flags if frame.seq is not None else None,
+            )
         )
         next_id += 1
         stats.decoded += 1
@@ -112,17 +129,36 @@ def write_packets(
     deterministic, evenly spaced timestamps.  ``fmt`` is ``"pcap"`` or
     ``"pcapng"``.  Every packet needs a 5-tuple header; returns the number of
     frames written.
+
+    TCP frames carry monotone per-flow sequence numbers (each flow starts at
+    1 and advances by payload length), so the capture is valid input for the
+    :mod:`repro.proto` reassembler.  A packet with an explicit ``tcp_seq``
+    (adversarial traffic, replayed captures) keeps it verbatim and does not
+    advance the flow's counter.
     """
     records: List[CaptureRecord] = []
+    next_seq: Dict[object, int] = {}
     for index, packet in enumerate(packets):
         if packet.header is None:
             raise FrameEncodeError(
                 f"packet {packet.packet_id} has no 5-tuple header; "
                 "captures carry only on-the-wire fields"
             )
+        seq = 0
+        flags = 0x18
+        if packet.header.protocol.lower() == "tcp":
+            if packet.tcp_seq is not None:
+                seq = packet.tcp_seq
+            else:
+                seq = next_seq.get(packet.header, 1)
+                next_seq[packet.header] = (seq + len(packet.payload)) & 0xFFFFFFFF
+            if packet.tcp_flags is not None:
+                flags = packet.tcp_flags
         records.append(
             CaptureRecord(
-                data=encode_frame(packet.header, packet.payload, linktype),
+                data=encode_frame(
+                    packet.header, packet.payload, linktype, seq=seq, flags=flags
+                ),
                 ts_ns=base_ts_ns + index * step_ns,
             )
         )

@@ -26,10 +26,16 @@ RS009    warning   rule has only negated contents; the ids engine skips it
                    (no positive content for the prefilter to anchor on)
 RS010    error     invalid ``pcre`` option (unbalanced delimiters, bad flag,
                    pattern :mod:`re` cannot compile)
+RS011    error     positional window (``offset``/``depth``/``distance``/
+                   ``within``) combined with a sticky buffer: windows measure
+                   raw-stream offsets, which a normalized buffer does not have
+RS012    error     relative content anchored to a sticky-buffer content: a
+                   ``distance``/``within`` window cannot cross from a
+                   normalized buffer into the raw stream
 RS101    error     rule-file line failed to parse (message from the parser)
 =======  ========  ==============================================================
 
-RS008–RS010 need the positional/negation/pcre grammar, so they fire from
+RS008–RS012 need the positional/negation/pcre/sticky grammar, so they fire from
 :func:`lint_rule_file` (where the full predicate is parsed), not from the
 bytes-only :func:`lint_ruleset` entry point.
 """
@@ -192,11 +198,16 @@ def lint_rule_file(path: str) -> Report:
                 code = "RS003"
             elif "pcre" in message:
                 code = "RS010"
+            elif "raw-stream offsets" in message:
+                code = "RS011"
+            elif "cannot cross" in message:
+                code = "RS012"
             else:
                 code = "RS101"
             report.add(ERROR, code, message, rule=number)
             continue
-        for index, content in enumerate(spec.contents):
+        raw_index = 0
+        for content in spec.contents:
             for bound_name, bound in (
                 ("depth", content.depth),
                 ("within", content.within),
@@ -211,6 +222,10 @@ def lint_rule_file(path: str) -> Report:
                         "the pattern",
                         rule=number,
                     )
+            if content.is_sticky:
+                # tested against normalized buffers: never compiled, so the
+                # pattern-level lint (duplicates, shadowing) does not apply
+                continue
             line_of[len(rules)] = number
             rules.append(
                 PatternRule(
@@ -219,11 +234,12 @@ def lint_rule_file(path: str) -> Report:
                     # extras get placeholders, mirroring SidAllocator, so a
                     # multi-content rule does not RS002-conflict with itself
                     sid=spec.sid
-                    if spec.sid is not None and index == 0
+                    if spec.sid is not None and raw_index == 0
                     else -(len(rules) + 1),
                     msg=spec.msg,
                 )
             )
+            raw_index += 1
         if spec.contents and not spec.positive_contents:
             report.add(
                 WARNING,

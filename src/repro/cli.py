@@ -74,6 +74,7 @@ from .api import (
 from .backend import backend_names
 from .core.accelerator_config import compile_ruleset
 from .fpga.devices import CYCLONE_III, DEVICES, STRATIX_III, get_device
+from .proto.reassembly import OVERLAP_POLICIES
 from .rulesets.generator import generate_paper_rulesets, generate_snort_like_ruleset
 from .rulesets.reducer import reduce_to_character_count
 from .streaming.scanner import StreamScanner
@@ -90,6 +91,32 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         default="dtp",
         choices=backend_names(),
         help="matcher backend (all report identical match sets)",
+    )
+
+
+def _add_reassembly_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reassemble", action="store_true",
+        help="order TCP segments by sequence number before scanning "
+             "(the repro.proto reassembler; non-TCP traffic passes through)",
+    )
+    parser.add_argument(
+        "--overlap-policy", default="first", choices=sorted(OVERLAP_POLICIES),
+        help="with --reassemble: which copy wins when a retransmitted "
+             "TCP segment disagrees with already-buffered bytes",
+    )
+
+
+def _print_reassembly_summary(session) -> None:
+    """One gauge line when the reassembler ran (shared by the scan commands)."""
+    stats = session.stats().get("reassembly")
+    if stats is None:
+        return
+    print(
+        f"reassembled               : {stats['segments_in']} segments -> "
+        f"{stats['packets_out']} packets "
+        f"(reordered={stats['reordered']}, retransmits={stats['retransmits']}, "
+        f"hole_flushes={stats['hole_flushes']})"
     )
 
 
@@ -320,12 +347,14 @@ def _cmd_scan_pcap(args: argparse.Namespace) -> int:
             workers=args.workers,
             flow_capacity=args.flow_capacity,
             strict=args.strict,
+            reassemble=args.reassemble,
+            overlap_policy=args.overlap_policy,
         ),
     )
     try:
         with Session.from_config(config) as session:
             ruleset = session.ruleset
-            result = session.scan()
+            result = session.run().scan_result
             capture = session.capture
             stats = session.capture_stats
             flow_count = len(
@@ -340,16 +369,16 @@ def _cmd_scan_pcap(args: argparse.Namespace) -> int:
                 f"decoded {stats.decoded} packets / {flow_count} flows "
                 f"({stats.payload_bytes} payload bytes)"
             )
-            skipped = ", ".join(
-                f"{reason}={count}" for reason, count in sorted(stats.skipped.items())
-            )
             print(f"skipped frames            : {stats.skipped_total}"
-                  + (f" ({skipped})" if skipped else ""))
+                  + (f" (fragments={stats.skipped_fragments}, "
+                     f"other={stats.skipped_other})"
+                     if stats.skipped_total else ""))
             # remaps cover genuine collisions and the extra contents of
             # multi-content rules — both are sids that differ from the rule file
             remapped = len(session.sid_remap)
             print(f"rules loaded              : {len(ruleset)}"
                   + (f" ({remapped} reassigned sids)" if remapped else ""))
+            _print_reassembly_summary(session)
             _print_scan_summary(
                 session.service, result, show_workers=args.workers is not None
             )
@@ -411,6 +440,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             flow_capacity=args.flow_capacity,
             strict=args.strict,
+            reassemble=args.reassemble,
+            overlap_policy=args.overlap_policy,
         ),
     )
     try:
@@ -435,6 +466,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             print(f"stop reason               : {report.stop_reason}"
                   + (f" ({counters})" if counters else ""))
+            _print_reassembly_summary(session)
             _print_scan_summary(
                 session.service, report, show_workers=args.workers is not None
             )
@@ -485,6 +517,8 @@ def _cmd_ids(args: argparse.Namespace) -> int:
             device=args.device,
             workers=args.workers,
             strict=args.strict,
+            reassemble=args.reassemble,
+            overlap_policy=args.overlap_policy,
         ),
     )
     try:
@@ -520,6 +554,14 @@ def _cmd_ids(args: argparse.Namespace) -> int:
                 if ignored:
                     print(f"options ignored      : {ignored} "
                           "(lenient parse; --strict-rules rejects them)")
+            reassembly = session.stats().get("reassembly")
+            if reassembly is not None:
+                print(
+                    f"reassembled          : {reassembly['segments_in']} "
+                    f"segments -> {reassembly['packets_out']} packets "
+                    f"(reordered={reassembly['reordered']}, "
+                    f"retransmits={reassembly['retransmits']})"
+                )
             print(f"alerts raised        : {len(alerts)}")
             if flows is not None:
                 alerted_sids = {alert.sid for alert in alerts}
@@ -798,6 +840,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan_pcap.add_argument("--strict", action="store_true",
                            help="fail on frames that cannot be decoded "
                                 "(default: skip and count them)")
+    _add_reassembly_arguments(scan_pcap)
     scan_pcap.add_argument("--print-events", action="store_true",
                            help="print every match event (backend-independent report)")
     scan_pcap.set_defaults(handler=_cmd_scan_pcap)
@@ -842,6 +885,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--strict", action="store_true",
                        help="with --pcap-tail: fail on frames that cannot be "
                             "decoded (default: skip and count them)")
+    _add_reassembly_arguments(serve)
     serve.add_argument("--print-events", action="store_true",
                        help="print every match event (backend-independent report)")
     serve.set_defaults(handler=_cmd_serve)
@@ -868,6 +912,7 @@ def build_parser() -> argparse.ArgumentParser:
     ids.add_argument("--strict", action="store_true",
                      help="with --pcap: fail on frames that cannot be decoded "
                           "(default: skip and count them)")
+    _add_reassembly_arguments(ids)
     ids.add_argument("--print-alerts", action="store_true",
                      help="print every alert (backend-independent report)")
     ids.set_defaults(handler=_cmd_ids)

@@ -47,19 +47,25 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..proto.http import HttpStream
 from ..rulesets.parser import RulePredicate
 from ..streaming.flow import FlowKey
 
 
 class _Step:
-    """One content of a compiled predicate, bound to its prefilter number."""
+    """One content of a compiled predicate, bound to its prefilter number.
+
+    Sticky-buffer contents (``buffer != "raw"``) have no prefilter number —
+    the prefilter never searches normalized buffers — and instead carry
+    their effective pattern bytes for the substring test."""
 
     __slots__ = (
         "number", "length", "nocase", "negated",
         "offset", "depth", "distance", "within", "relative",
+        "buffer", "pattern",
     )
 
-    def __init__(self, content, number: int):
+    def __init__(self, content, number: Optional[int]):
         self.number = number
         self.length = len(content.pattern)
         self.nocase = content.nocase
@@ -69,6 +75,8 @@ class _Step:
         self.distance = content.distance
         self.within = content.within
         self.relative = content.is_relative
+        self.buffer = content.buffer
+        self.pattern = content.effective_pattern()
 
     def window(self, doe: int) -> Tuple[int, Optional[int]]:
         """``(min_start, max_end)`` for this step anchored at ``doe``
@@ -120,16 +128,47 @@ class RuleEvaluator:
 
     def __init__(self, sid: int, predicate: RulePredicate, number_of: Dict[bytes, int]):
         self.sid = sid
-        self.steps: List[_Step] = [
-            _Step(content, number_of[content.effective_pattern()])
-            for content in predicate.contents
-        ]
+        #: the raw-stream content chain (windows resolve against it)
+        self.steps: List[_Step] = []
+        #: sticky-buffer contents: independent substring tests against the
+        #: flow's normalized HTTP buffers (grammar forbids windows on them
+        #: and relative anchoring across them, so chain order is irrelevant)
+        self.sticky_steps: List[_Step] = []
+        for content in predicate.contents:
+            if content.is_sticky:
+                self.sticky_steps.append(_Step(content, None))
+            else:
+                self.steps.append(
+                    _Step(content, number_of[content.effective_pattern()])
+                )
         self.pcres = [(p.compile(), p.negated) for p in predicate.pcres]
         self.plain = predicate.is_plain
         #: verdict can flip at flow end: some component is negated
         self.requires_end = predicate.requires_end
         self.needs_buffer = bool(self.pcres)
+        self.needs_http = bool(self.sticky_steps)
+        #: the raw positive steps: the cheap candidacy gate (sticky steps
+        #: have no prefilter occurrences to gate on)
         self.positive_steps = [s for s in self.steps if not s.negated]
+
+    def _sticky_ok(self, http: Optional[HttpStream], at_end: bool) -> bool:
+        """Evaluate the sticky-buffer contents against the flow's normalized
+        buffers (empty when the flow is not HTTP or no normalizer ran).
+
+        Positive sticky contents are monotone — the buffers only grow — so
+        a hit stands; negated ones are only provable once the flow cannot
+        grow, exactly like negated raw contents."""
+        for step in self.sticky_steps:
+            data = b"" if http is None else http.buffer(step.buffer)
+            if step.nocase:
+                data = data.lower()
+            found = step.pattern in data
+            if step.negated:
+                if found or not at_end:
+                    return False
+            elif not found:
+                return False
+        return True
 
     def evaluate(
         self,
@@ -137,6 +176,7 @@ class RuleEvaluator:
         length: int,
         buffer: Optional[bytes],
         at_end: bool,
+        http: Optional[HttpStream] = None,
     ) -> bool:
         """Does the flow (``length`` bytes scanned so far) satisfy the rule?
 
@@ -146,6 +186,8 @@ class RuleEvaluator:
         on later packets, and :meth:`ConfirmStage.finalize_flow` asks once
         more with ``at_end=True``.
         """
+        if self.sticky_steps and not self._sticky_ok(http, at_end):
+            return False
         if self.plain:
             return all(occurrences(step) for step in self.steps)
         memo: Dict[Tuple[int, int], bool] = {}
@@ -205,7 +247,7 @@ class _FlowRecord:
 
     __slots__ = (
         "positions", "lower_positions", "buffer", "length",
-        "alerted", "candidates", "last_packet_id",
+        "alerted", "candidates", "last_packet_id", "http",
     )
 
     def __init__(self):
@@ -216,6 +258,16 @@ class _FlowRecord:
         self.alerted: Set[int] = set()
         self.candidates: Optional[Tuple[int, ...]] = None
         self.last_packet_id = -1
+        #: the flow's HTTP normalizer (only when some rule is sticky)
+        self.http: Optional[HttpStream] = None
+
+    @property
+    def has_hits(self) -> bool:
+        """Anything for a rule to match on yet: prefilter occurrences, or a
+        normalized HTTP buffer a sticky content could hit."""
+        if self.positions or self.lower_positions:
+            return True
+        return self.http is not None and self.http.is_http
 
     def as_dict(self) -> Dict:
         return {
@@ -226,6 +278,7 @@ class _FlowRecord:
             "alerted": sorted(self.alerted),
             "candidates": None if self.candidates is None else list(self.candidates),
             "last_packet_id": self.last_packet_id,
+            "http": None if self.http is None else self.http.as_dict(),
         }
 
     @classmethod
@@ -242,6 +295,8 @@ class _FlowRecord:
         candidates = data.get("candidates")
         record.candidates = None if candidates is None else tuple(candidates)
         record.last_packet_id = int(data["last_packet_id"])
+        http = data.get("http")
+        record.http = None if http is None else HttpStream.from_dict(http)
         return record
 
 
@@ -257,6 +312,9 @@ class ConfirmStage:
     def __init__(self, evaluators: Iterable[RuleEvaluator]):
         self.evaluators: Dict[int, RuleEvaluator] = {e.sid: e for e in evaluators}
         self.needs_buffer = any(e.needs_buffer for e in self.evaluators.values())
+        #: some rule targets a normalized HTTP buffer: every flow carries an
+        #: incremental :class:`HttpStream` alongside its hit positions
+        self.needs_http = any(e.needs_http for e in self.evaluators.values())
         #: insertion-ordered: finalize walks flows in first-seen order
         self._flows: Dict[FlowKey, _FlowRecord] = {}
 
@@ -284,10 +342,14 @@ class ConfirmStage:
             record = self._flows[key] = _FlowRecord()
             if self.needs_buffer:
                 record.buffer = bytearray()
+            if self.needs_http:
+                record.http = HttpStream()
         record.last_packet_id = packet_id
         record.length += len(payload)
         if record.buffer is not None:
             record.buffer += payload
+        if record.http is not None:
+            record.http.feed(payload)
         if record.candidates is None:
             record.candidates = tuple(candidates_fn())
         for event in events:
@@ -329,7 +391,7 @@ class ConfirmStage:
             if evaluator.needs_buffer and record.buffer is not None
             else None
         )
-        return evaluator.evaluate(occ, record.length, buffer, at_end)
+        return evaluator.evaluate(occ, record.length, buffer, at_end, record.http)
 
     def finalize_flow(self, key: FlowKey) -> List[Tuple[int, int]]:
         """Decide end-of-flow rules (negation) for one flow.

@@ -28,6 +28,7 @@ from ..backend import CompiledProgram, get_backend
 from ..core.accelerator_config import compile_ruleset
 from ..fpga.devices import FPGADevice, STRATIX_III
 from ..hardware.accelerator import HardwareAccelerator
+from ..proto.http import HttpStream
 from ..rulesets.parser import (
     ContentPattern,
     RulePredicate,
@@ -47,13 +48,16 @@ from .confirm import ConfirmStage, RuleEvaluator, merged_occurrences
 class IDSRule:
     """One complete IDS rule: header pattern plus a content predicate.
 
-    ``contents`` holds the *positive* content strings — what the prefilter
-    can gate on — stored as effective patterns (lower-cased when the
-    matching ``nocase`` flag is set).  ``predicate`` is the full match
-    predicate (positional windows, negated contents, pcres); when omitted
-    it is derived from ``contents``/``nocase`` as the plain
-    "every string occurs somewhere" predicate, which keeps the historical
-    constructor behaviour intact.
+    ``contents`` holds the *positive raw-stream* content strings — what the
+    prefilter can gate on — stored as effective patterns (lower-cased when
+    the matching ``nocase`` flag is set).  ``predicate`` is the full match
+    predicate (positional windows, negated contents, sticky-buffer
+    contents, pcres); when omitted it is derived from ``contents``/
+    ``nocase`` as the plain "every string occurs somewhere" predicate,
+    which keeps the historical constructor behaviour intact.  ``contents``
+    may be empty only when the predicate carries a positive sticky-buffer
+    content — such a rule has nothing for the prefilter, and its candidacy
+    is gated on the flow producing a normalized HTTP buffer instead.
     """
 
     sid: int
@@ -66,7 +70,10 @@ class IDSRule:
 
     def __post_init__(self) -> None:
         if not self.contents:
-            raise ValueError(f"rule {self.sid} has no content strings")
+            if self.predicate is None or not any(
+                not c.negated for c in self.predicate.sticky
+            ):
+                raise ValueError(f"rule {self.sid} has no content strings")
         if self.nocase and len(self.nocase) != len(self.contents):
             raise ValueError(f"rule {self.sid}: nocase flags do not match contents")
         if self.predicate is None:
@@ -83,12 +90,12 @@ class IDSRule:
             )
         else:
             positives = tuple(
-                c.effective_pattern() for c in self.predicate.positive
+                c.effective_pattern() for c in self.predicate.raw_positive
             )
             if positives != tuple(self.contents):
                 raise ValueError(
                     f"rule {self.sid}: contents do not match the predicate's "
-                    "positive contents"
+                    "positive raw-stream contents"
                 )
 
     def content_flags(self) -> Tuple[Tuple[bytes, bool], ...]:
@@ -166,6 +173,8 @@ class IntrusionDetectionSystem:
         self._nocase_patterns: Set[bytes] = set()
         for rule in rules:
             for content in rule.predicate.contents:
+                if content.is_sticky:
+                    continue  # tested against normalized buffers, not the stream
                 pattern = content.effective_pattern()
                 if content.nocase:
                     self._nocase_patterns.add(pattern)
@@ -173,6 +182,17 @@ class IntrusionDetectionSystem:
                     self._string_to_rules.setdefault(pattern, set()).add(rule.sid)
                 if pattern not in self._content_ruleset:
                     self._content_ruleset.add_pattern(pattern)
+        if len(self._content_ruleset) == 0:
+            # every rule is pure-sticky: the prefilter has nothing to search
+            # on the raw stream, but the scan machinery needs a compiled
+            # program — seed it with the sticky patterns.  Their raw
+            # occurrences are never referenced by any evaluator step, so the
+            # extra prefilter work cannot change a verdict.
+            for rule in rules:
+                for content in rule.predicate.contents:
+                    pattern = content.effective_pattern()
+                    if pattern not in self._content_ruleset:
+                        self._content_ruleset.add_pattern(pattern)
 
         self.backend = backend
         if backend == "dtp":
@@ -253,10 +273,13 @@ class IntrusionDetectionSystem:
         """Build an IDS from parsed Snort rules.
 
         Each spec's full predicate (positional modifiers, negated contents,
-        pcres) is carried into the confirm stage.  Rules without a single
-        positive content are skipped — the prefilter has nothing to anchor
-        on (parse with ``strict=True`` to reject such rules instead; see
-        :attr:`repro.api.Session.skipped_rules` for the count).
+        sticky-buffer contents, pcres) is carried into the confirm stage.
+        Rules without a single positive content are skipped — the prefilter
+        has nothing to anchor on (parse with ``strict=True`` to reject such
+        rules instead; see :attr:`repro.api.Session.skipped_rules` for the
+        count).  A rule whose only positive contents target a normalized
+        HTTP buffer is kept: the prefilter never sees it, and the confirm
+        stage gates its candidacy on the flow parsing as HTTP.
 
         Sid assignment is the shared :class:`repro.rulesets.parser.SidAllocator`
         policy: the first rule claiming a sid keeps it, later claimants (and
@@ -270,9 +293,9 @@ class IntrusionDetectionSystem:
         allocator = SidAllocator(specs, sid_remap)
         rules: List[IDSRule] = []
         for spec in specs:
-            positives = spec.positive_contents
-            if not positives:
+            if not spec.positive_contents:
                 continue
+            positives = [c for c in spec.positive_contents if not c.is_sticky]
             sid = allocator.assign(spec.sid)
             rules.append(
                 IDSRule(
@@ -334,6 +357,12 @@ class IntrusionDetectionSystem:
             self.stats.content_matches += len(hits)
             candidates = self.classifier.classify(packet.header)
             self.stats.header_candidates += len(candidates)
+            http: Optional[HttpStream] = None
+            if self._confirm.needs_http:
+                # stateless: the packet is its own flow, so it gets its own
+                # normalizer (mirroring the per-flow one in scan_flow)
+                http = HttpStream()
+                http.feed(packet.payload)
             for sid in candidates:
                 evaluator = self._evaluators[sid]
 
@@ -343,7 +372,9 @@ class IntrusionDetectionSystem:
                 if not all(occ(step) for step in evaluator.positive_steps):
                     continue
                 buffer = packet.payload if evaluator.needs_buffer else None
-                if evaluator.evaluate(occ, len(packet.payload), buffer, at_end=True):
+                if evaluator.evaluate(
+                    occ, len(packet.payload), buffer, at_end=True, http=http
+                ):
                     rule = self.rules[sid]
                     alerts.append(
                         Alert(
@@ -467,10 +498,10 @@ class IntrusionDetectionSystem:
                 lambda packet=packet: self.classifier.classify(packet.header),
             )
             self.stats.header_candidates += len(record.candidates)
-            # no prefilter hit on this flow yet -> no rule can pass its
-            # positive-content gate: keep the no-hit hot path free of
-            # per-rule work
-            if not record.positions and not record.lower_positions:
+            # no prefilter hit and no normalized HTTP buffer on this flow
+            # yet -> no rule can pass its candidacy gate: keep the no-hit
+            # hot path free of per-rule work
+            if not record.has_hits:
                 continue
             for sid in record.candidates:
                 if sid in record.alerted:

@@ -12,9 +12,17 @@ The subset parsed covers what the two-stage pipeline evaluates:
 * the ``nocase`` modifier (the confirm stage folds case end to end);
 * ``pcre:"/regex/flags"`` options (flags ``i``, ``s``, ``m``, ``x``),
   compiled once through :mod:`re` and cached;
+* the ``http_uri``/``http_header`` sticky-buffer modifiers, which re-target
+  the preceding content at the flow's *normalized* HTTP buffer
+  (:mod:`repro.proto.http`) instead of the raw byte stream.  Sticky contents
+  are confirm-only — normalization means the raw stream may not contain the
+  literal, so the prefilter never searches them — and they carry no
+  positional window: ``offset``/``depth``/``distance``/``within`` measure
+  raw-stream offsets, which a normalized buffer does not have (RS011), and a
+  relative content cannot anchor to a sticky content's match (RS012);
 * ``msg`` and ``sid`` options.
 
-Everything else (byte_test, flow, http_uri, ...) is outside the scope of the
+Everything else (byte_test, flow, ...) is outside the scope of the
 paper's fixed-string prefilter.  In the default *lenient* mode such options
 are preserved verbatim in ``SnortRuleSpec.unparsed_options`` so genuine
 community rule files load; with ``strict=True`` any unsupported option (or a
@@ -65,6 +73,11 @@ class ContentPattern:
     content's match (``doe``).  A content carries either absolute or
     relative anchoring, never both.  ``negated`` contents
     (``content:!"..."``) must have *no* occurrence inside their window.
+
+    ``buffer`` is ``"raw"`` (the byte stream, the default) or a sticky
+    buffer name from :data:`repro.proto.http.HTTP_BUFFERS` — a sticky
+    content is evaluated as a substring test against the flow's normalized
+    HTTP buffer and never enters the prefilter or a positional window.
     """
 
     pattern: bytes
@@ -74,6 +87,7 @@ class ContentPattern:
     depth: Optional[int] = None
     distance: Optional[int] = None
     within: Optional[int] = None
+    buffer: str = "raw"
 
     def effective_pattern(self) -> bytes:
         """Pattern actually loaded into the matcher (lower-cased if nocase)."""
@@ -86,11 +100,20 @@ class ContentPattern:
         return self.distance is not None or self.within is not None
 
     @property
+    def is_sticky(self) -> bool:
+        """Targets a normalized protocol buffer instead of the raw stream."""
+        return self.buffer != "raw"
+
+    @property
     def is_plain(self) -> bool:
-        """No negation and no positional window: a bare string test."""
-        return not self.negated and all(
-            value is None
-            for value in (self.offset, self.depth, self.distance, self.within)
+        """No negation, no positional window, raw stream: a bare string test."""
+        return (
+            not self.negated
+            and self.buffer == "raw"
+            and all(
+                value is None
+                for value in (self.offset, self.depth, self.distance, self.within)
+            )
         )
 
 
@@ -144,8 +167,18 @@ class RulePredicate:
 
     @property
     def positive(self) -> Tuple[ContentPattern, ...]:
-        """The non-negated contents (what the prefilter can gate on)."""
+        """The non-negated contents (raw and sticky alike)."""
         return tuple(c for c in self.contents if not c.negated)
+
+    @property
+    def raw_positive(self) -> Tuple[ContentPattern, ...]:
+        """The non-negated raw-stream contents (what the prefilter gates on)."""
+        return tuple(c for c in self.contents if not c.negated and not c.is_sticky)
+
+    @property
+    def sticky(self) -> Tuple[ContentPattern, ...]:
+        """The sticky-buffer contents (confirm-only substring tests)."""
+        return tuple(c for c in self.contents if c.is_sticky)
 
     @property
     def is_plain(self) -> bool:
@@ -161,8 +194,10 @@ class RulePredicate:
 
     def scan_patterns(self) -> List[bytes]:
         """Effective patterns the prefilter must search (negated ones too:
-        their *occurrences* are what decides the negation window)."""
-        return [c.effective_pattern() for c in self.contents]
+        their *occurrences* are what decides the negation window).  Sticky
+        contents are excluded — they are tested against normalized buffers
+        the raw stream never contains."""
+        return [c.effective_pattern() for c in self.contents if not c.is_sticky]
 
 
 @dataclass
@@ -393,6 +428,11 @@ def parse_pcre_option(value: str, strict: bool = False) -> PcrePattern:
     return PcrePattern(pattern=body, flags=flags, negated=negated)
 
 
+#: Sticky-buffer modifier names accepted after a content.  Kept as a local
+#: literal (mirroring :data:`repro.proto.http.HTTP_BUFFERS`, which a test
+#: pins) so the parser does not import the protocol layer.
+STICKY_BUFFERS = ("http_uri", "http_header")
+
 #: content modifiers taking an integer value, with their anchoring class.
 _WINDOW_MODIFIERS = {
     "offset": "absolute",
@@ -414,6 +454,12 @@ def _apply_window_modifier(
         amount = int(value if value is not None else "")
     except ValueError as exc:
         raise RuleParseError(f"invalid {key} value: {value!r}") from exc
+    if content.is_sticky:
+        raise RuleParseError(
+            f"{key} on {content.buffer} content {content.pattern!r}: "
+            "positional windows are raw-stream offsets, which a normalized "
+            "buffer does not have"
+        )
     if getattr(content, key) is not None:
         raise RuleParseError(f"duplicate {key} modifier on content {content.pattern!r}")
     anchoring = _WINDOW_MODIFIERS[key]
@@ -428,10 +474,20 @@ def _apply_window_modifier(
                 f"{key} conflicts with offset/depth on content {content.pattern!r}: "
                 "a content anchors either to the flow start or to the previous match"
             )
-        if not any(not c.negated for c in spec.contents[:-1]):
+        anchor = next(
+            (c for c in reversed(spec.contents[:-1]) if not c.negated), None
+        )
+        if anchor is None:
             raise RuleParseError(
                 f"{key} modifier on the first content has no previous match "
                 "to anchor to"
+            )
+        if anchor.is_sticky:
+            raise RuleParseError(
+                f"{key} on content {content.pattern!r} anchors to the "
+                f"{anchor.buffer} content {anchor.pattern!r}: a relative "
+                "window cannot cross from a normalized buffer into the raw "
+                "stream"
             )
     if key == "offset" and amount < 0:
         raise RuleParseError(f"offset must be >= 0, got {amount}")
@@ -492,6 +548,33 @@ def parse_rule(line: str, strict: bool = False) -> SnortRuleSpec:
                     f"{spec.contents[-1].pattern!r}"
                 )
             spec.contents[-1].nocase = True
+        elif key_lower in STICKY_BUFFERS:
+            if value is not None:
+                raise RuleParseError(
+                    f"{key_lower} is a modifier and takes no value, got {value!r}"
+                )
+            if not spec.contents:
+                raise RuleParseError(f"{key_lower} modifier before any content option")
+            content = spec.contents[-1]
+            if content.buffer == key_lower:
+                raise RuleParseError(
+                    f"duplicate {key_lower} modifier on content {content.pattern!r}"
+                )
+            if content.is_sticky:
+                raise RuleParseError(
+                    f"{key_lower} conflicts with {content.buffer} on content "
+                    f"{content.pattern!r}: a content targets one buffer"
+                )
+            if content.is_relative or content.offset is not None or (
+                content.depth is not None
+            ):
+                raise RuleParseError(
+                    f"{key_lower} on content {content.pattern!r} with "
+                    "offset/depth/distance/within: positional windows are "
+                    "raw-stream offsets, which a normalized buffer does not "
+                    "have"
+                )
+            content.buffer = key_lower
         elif key_lower in _WINDOW_MODIFIERS:
             _apply_window_modifier(spec, key_lower, value)
         elif key_lower == "pcre":
@@ -644,6 +727,8 @@ def ruleset_from_specs(
     ruleset = RuleSet(name=name)
     for spec in specs:
         for content in spec.contents:
+            if content.is_sticky:
+                continue  # normalized-buffer tests never enter the prefilter
             pattern = content.effective_pattern()
             if dedupe and pattern in ruleset:
                 continue

@@ -52,11 +52,13 @@ from ..capture.pcap import CaptureError, PCAP_MAGIC_MICRO, PCAP_MAGIC_NANO
 from ..traffic.packet import FiveTuple, Packet
 from .scanner import StreamMatch
 
-#: ``emit(header, payload)`` — how a source hands one flow segment to the
-#: ingestor.  Synchronous on purpose: sources call it from protocol
-#: callbacks and reader loops; the ingestor's unbounded arrival queue does
-#: the buffering.
-EmitFn = Callable[[Optional[FiveTuple], bytes], None]
+#: ``emit(header, payload, seq=None, flags=None)`` — how a source hands one
+#: flow segment to the ingestor.  Synchronous on purpose: sources call it
+#: from protocol callbacks and reader loops; the ingestor's unbounded
+#: arrival queue does the buffering.  ``seq``/``flags`` carry on-the-wire
+#: TCP sequence state when the source has it (the pcap tail reader does;
+#: socket listeners deliver kernel-ordered bytes and leave them ``None``).
+EmitFn = Callable[..., None]
 
 #: Ingestor wake-up granularity (seconds): how often flush deadlines, source
 #: exhaustion and idle timeouts are checked while the wire is quiet.
@@ -303,7 +305,12 @@ class PcapTailSource:
                     self.skipped += 1
                     continue
                 self.records += 1
-                emit(frame.header, frame.payload)
+                emit(
+                    frame.header,
+                    frame.payload,
+                    frame.seq,
+                    frame.flags if frame.seq is not None else None,
+                )
 
 
 # ----------------------------------------------------------------------
@@ -318,6 +325,16 @@ class LiveIngestor:
     packets)`` (if given) observes every flushed batch — the hook streaming
     sinks attach to.  Set ``collect_events=False`` on unbounded serving
     loops so the report does not accumulate events forever.
+
+    ``preprocess`` (if given) maps each closed batch's packets to the
+    packets actually scanned — the hook the :mod:`repro.proto` reassembler
+    plugs into; it may return fewer packets than it was given (data parked
+    behind a sequence hole) or more (a flush released buffered segments).
+    ``preprocess_flush`` is called once when serving stops and its packets
+    are scanned as a final batch, so nothing buffered is lost.  With a
+    preprocessor, the report's ``packets``/``payload_bytes`` count what was
+    *scanned* (the preprocessor's output); ``max_packets`` still bounds
+    arrivals.
     """
 
     def __init__(
@@ -330,6 +347,8 @@ class LiveIngestor:
         idle_timeout: Optional[float] = None,
         collect_events: bool = True,
         on_batch: Optional[Callable] = None,
+        preprocess: Optional[Callable[[List[Packet]], List[Packet]]] = None,
+        preprocess_flush: Optional[Callable[[], List[Packet]]] = None,
     ):
         if batch_packets < 1:
             raise ValueError(f"batch_packets must be >= 1, got {batch_packets}")
@@ -340,6 +359,8 @@ class LiveIngestor:
         self.idle_timeout = idle_timeout
         self.collect_events = collect_events
         self.on_batch = on_batch
+        self.preprocess = preprocess
+        self.preprocess_flush = preprocess_flush
 
     def serve(self, source) -> IngestReport:
         """Synchronous wrapper: run the ingestion loop to completion."""
@@ -348,8 +369,13 @@ class LiveIngestor:
     async def run(self, source) -> IngestReport:
         queue: asyncio.Queue = asyncio.Queue()
 
-        def emit(header: Optional[FiveTuple], payload: bytes) -> None:
-            queue.put_nowait((header, payload))
+        def emit(
+            header: Optional[FiveTuple],
+            payload: bytes,
+            seq: Optional[int] = None,
+            flags: Optional[int] = None,
+        ) -> None:
+            queue.put_nowait((header, payload, seq, flags))
 
         report = IngestReport()
         started = time.perf_counter()
@@ -364,9 +390,7 @@ class LiveIngestor:
         next_id = 0
         last_arrival = time.monotonic()
 
-        async def flush() -> None:
-            nonlocal batch
-            todo, batch = batch, []
+        async def scan_batch(todo: List[Packet]) -> None:
             result = await loop.run_in_executor(executor, self.service.scan, todo)
             report.batches += 1
             report.packets += len(todo)
@@ -377,13 +401,21 @@ class LiveIngestor:
             if self.on_batch is not None:
                 self.on_batch(result, todo)
 
+        async def flush() -> None:
+            nonlocal batch
+            todo, batch = batch, []
+            if self.preprocess is not None:
+                todo = self.preprocess(todo)
+            if todo:
+                await scan_batch(todo)
+
         try:
             while True:
                 if self.max_packets is not None and next_id >= self.max_packets:
                     report.stop_reason = "max_packets"
                     break
                 try:
-                    header, payload = await asyncio.wait_for(
+                    header, payload, seq, flags = await asyncio.wait_for(
                         queue.get(), timeout=_TICK_SECONDS
                     )
                 except asyncio.TimeoutError:
@@ -404,12 +436,24 @@ class LiveIngestor:
                         break
                     continue
                 last_arrival = time.monotonic()
-                batch.append(Packet(payload=payload, header=header, packet_id=next_id))
+                batch.append(
+                    Packet(
+                        payload=payload,
+                        header=header,
+                        packet_id=next_id,
+                        tcp_seq=seq,
+                        tcp_flags=flags,
+                    )
+                )
                 next_id += 1
                 if len(batch) >= self.batch_packets:
                     await flush()
             if batch:
                 await flush()
+            if self.preprocess_flush is not None:
+                tail = self.preprocess_flush()
+                if tail:
+                    await scan_batch(tail)
         finally:
             source_task.cancel()
             try:

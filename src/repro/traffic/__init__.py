@@ -1,10 +1,11 @@
 """Packets and synthetic traffic generation."""
 
-from .generator import GeneratedFlow, TrafficGenerator, TrafficProfile
+from .generator import MANGLE_MODES, GeneratedFlow, TrafficGenerator, TrafficProfile
 from .packet import FiveTuple, MatchEvent, Packet
 
 __all__ = [
     "GeneratedFlow",
+    "MANGLE_MODES",
     "TrafficGenerator",
     "TrafficProfile",
     "FiveTuple",

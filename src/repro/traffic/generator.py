@@ -9,13 +9,20 @@ strings at known offsets.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..rulesets.ruleset import PatternRule, RuleSet
 from .packet import FiveTuple, Packet
 
 _PROTOCOLS = ("tcp", "udp")
+
+_TCP_FIN = 0x01
+_TCP_SYN = 0x02
+_TCP_ACK = 0x10
+
+#: Wire-level adversities :meth:`TrafficGenerator.mangle` can apply.
+MANGLE_MODES = ("reorder", "retransmit", "overlap-split")
 
 _BACKGROUND_WORDS = (
     b"GET /index.html HTTP/1.1\r\n", b"Host: example.com\r\n", b"Accept: */*\r\n",
@@ -290,6 +297,117 @@ class TrafficGenerator:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         return [self.flow(**kwargs) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # adversarial wire rendering (input for repro.proto reassembly)
+    # ------------------------------------------------------------------
+    def mangle(
+        self,
+        flow: GeneratedFlow,
+        mode: str = "reorder",
+        overlap_bytes: int = 4,
+        fin: bool = True,
+    ) -> GeneratedFlow:
+        """Render ``flow`` as adversarial on-the-wire TCP segments.
+
+        The returned flow carries the same byte *stream* and ground-truth
+        sids, but its packets are what a hostile or lossy network would
+        deliver: a SYN (random ISN) followed by data segments with explicit
+        ``tcp_seq``/``tcp_flags``, disturbed per ``mode``:
+
+        * ``"reorder"``       — data segments shuffled; sequence numbers
+          carry the true order, payload boundaries are preserved;
+        * ``"retransmit"``    — in order, but some segments delivered twice
+          (byte-identical copies, so overlap policies agree);
+        * ``"overlap-split"`` — the stream re-cut at new boundaries with
+          each later segment re-sending the previous segment's last
+          ``overlap_bytes`` bytes (consistent overlaps).
+
+        With ``fin`` the last data segment carries FIN, so the reassembler
+        retires the flow without waiting for an eviction or flush.  The
+        header's protocol is forced to ``"tcp"`` (sequence numbers mean
+        nothing elsewhere).  Per-packet scanning of the mangled flow is
+        meaningless — only the reassembled stream is; that is the point.
+        """
+        if mode not in MANGLE_MODES:
+            raise ValueError(
+                f"unknown mangle mode {mode!r}; available: {', '.join(MANGLE_MODES)}"
+            )
+        if overlap_bytes < 1:
+            raise ValueError(f"overlap_bytes must be at least 1, got {overlap_bytes}")
+        rng = self._rng
+        header = flow.header
+        if header.protocol != "tcp":
+            header = replace(header, protocol="tcp")
+        isn = rng.randrange(1, 2**32)
+
+        # (stream offset, payload) data segments
+        segments: List[Tuple[int, bytes]] = []
+        if mode == "overlap-split":
+            stream = flow.payload
+            position = 0
+            cuts: List[int] = []
+            while position < len(stream):
+                position = min(len(stream), position + rng.randint(8, 64))
+                cuts.append(position)
+            start = 0
+            for index, end in enumerate(cuts):
+                low = max(0, start - overlap_bytes) if index else 0
+                segments.append((low, stream[low:end]))
+                start = end
+        else:
+            offset = 0
+            for packet in flow.packets:
+                segments.append((offset, packet.payload))
+                offset += len(packet.payload)
+        segments = [(off, data) for off, data in segments if data]
+
+        flag_of = {off: _TCP_ACK for off, _ in segments}
+        if fin and segments:
+            flag_of[segments[-1][0]] |= _TCP_FIN
+        if mode == "reorder" and len(segments) > 1:
+            shuffled = segments[:]
+            while shuffled == segments:
+                rng.shuffle(shuffled)
+            segments = shuffled
+        elif mode == "retransmit" and segments:
+            # duplicates land before the FIN segment: a copy arriving after
+            # the close would re-open the flow as a new best-effort stream
+            limit = len(segments) - 1 if fin else len(segments)
+            for _ in range(max(1, limit // 3)):
+                if limit < 1:
+                    break
+                victim = rng.randrange(limit)
+                segments.insert(rng.randint(victim + 1, limit), segments[victim])
+                limit += 1
+
+        packets = [
+            Packet(
+                payload=b"",
+                header=header,
+                packet_id=self._next_id,
+                tcp_seq=isn,
+                tcp_flags=_TCP_SYN,
+            )
+        ]
+        self._next_id += 1
+        for off, data in segments:
+            packets.append(
+                Packet(
+                    payload=data,
+                    header=header,
+                    packet_id=self._next_id,
+                    tcp_seq=(isn + 1 + off) % 2**32,
+                    tcp_flags=flag_of[off],
+                )
+            )
+            self._next_id += 1
+        return GeneratedFlow(
+            header=header,
+            packets=packets,
+            injected_sids=list(flow.injected_sids),
+            split_sids=list(flow.split_sids),
+        )
 
     @staticmethod
     def export_pcap(

@@ -29,12 +29,19 @@ class Packet:
     ``injected_sids`` records the ground truth of which rules' patterns were
     deliberately embedded in the payload by the traffic generator; scanning
     may legitimately find more matches (patterns can occur by accident).
+
+    ``tcp_seq``/``tcp_flags`` are the on-the-wire TCP sequence number and
+    flag byte when known (capture replay and adversarial traffic set them);
+    ``None`` means "no usable sequence state" and the :mod:`repro.proto`
+    reassembler falls back to arrival order for the flow.
     """
 
     payload: bytes
     header: Optional[FiveTuple] = None
     packet_id: int = 0
     injected_sids: List[int] = field(default_factory=list)
+    tcp_seq: Optional[int] = None
+    tcp_flags: Optional[int] = None
 
     @property
     def length(self) -> int:

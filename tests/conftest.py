@@ -101,7 +101,8 @@ def renumbered(packets: Sequence[Packet]) -> List[Packet]:
     """Packets re-id'd in arrival order — the id convention a replay uses
     (ids are not on the wire, so capture order is the shared ground)."""
     return [
-        Packet(p.payload, p.header, index, list(p.injected_sids))
+        Packet(p.payload, p.header, index, list(p.injected_sids),
+               tcp_seq=p.tcp_seq, tcp_flags=p.tcp_flags)
         for index, p in enumerate(packets)
     ]
 

@@ -248,7 +248,7 @@ class TestFrameCodec:
         frame = bytearray(encode_frame(self.HEADERS[1], b"x"))
         frame[14 + 6:14 + 8] = struct.pack("!H", flags_fragment)
         decoded, reason = decode_frame(bytes(frame))
-        assert decoded is None and reason == "network"
+        assert decoded is None and reason == "fragment"
 
     def test_unknown_linktype_skipped_as_link(self):
         assert decode_frame(b"\x00" * 64, linktype=147) == (None, "link")

@@ -142,7 +142,7 @@ def test_pcap_tail_rejects_pcapng(tmp_path, workload):
         write_packets(handle, packets, fmt="pcapng")
     source = PcapTailSource(str(path))
     with pytest.raises(CaptureError, match="pcapng"):
-        asyncio.run(source.run(lambda header, payload: None))
+        asyncio.run(source.run(lambda header, payload, *rest: None))
 
 
 def test_pcap_tail_truncated_record_raises(tmp_path, workload):
@@ -156,7 +156,7 @@ def test_pcap_tail_truncated_record_raises(tmp_path, workload):
     path.write_bytes(data[:-7])  # sever the last record mid-payload
     source = PcapTailSource(str(path))
     with pytest.raises(CaptureError, match="truncated"):
-        asyncio.run(source.run(lambda header, payload: None))
+        asyncio.run(source.run(lambda header, payload, *rest: None))
 
 
 # ----------------------------------------------------------------------
